@@ -1,0 +1,143 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Every CDF figure in the paper (Figs. 3, 4, 6, 7) is an ECDF over one of
+//! the derived per-sample quantities; this module is the shared machinery.
+
+/// An empirical CDF over `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds from unsorted observations. Non-finite values are rejected.
+    ///
+    /// # Panics
+    /// Panics on NaN/infinite input or an empty sample.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(!xs.is_empty(), "empty sample");
+        assert!(xs.iter().all(|x| x.is_finite()), "non-finite observation");
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ecdf { sorted: xs }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty samples); present for
+    /// `len`/`is_empty` API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)` — fraction of observations `<= x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        // partition_point gives the first index with value > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in [0, 1], by the nearest-rank method
+    /// (what the paper's pXX notation means).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let rank = (q * n as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Sorted observations (read-only view).
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the ECDF at each of `points`, yielding `(x, F(x))` rows —
+    /// the series a figure harness prints.
+    pub fn curve(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_or_below(x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fractions() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0, 4.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(e.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(e.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(e.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(e.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new((1..=100).map(f64::from).collect());
+        assert_eq!(e.quantile(0.0), 1.0);
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.9), 90.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+        assert!((e.mean() - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_single_point() {
+        let e = Ecdf::new(vec![7.0]);
+        assert_eq!(e.quantile(0.0), 7.0);
+        assert_eq!(e.quantile(0.5), 7.0);
+        assert_eq!(e.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn ties_are_counted() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.fraction_at_or_below(2.0), 0.75);
+    }
+
+    #[test]
+    fn curve_evaluates_points() {
+        let e = Ecdf::new(vec![1.0, 2.0]);
+        let c = e.curve(&[0.0, 1.0, 3.0]);
+        assert_eq!(c, vec![(0.0, 0.0), (1.0, 0.5), (3.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_rejected() {
+        Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Kolmogorov–Smirnov goodness-of-fit test against an exponential.
+//!
+//! §5.2: "we can also see that the arrival rate of µbursts is not a
+//! homogeneous/constant-rate Poisson process. We tested that using a
+//! Kolmogorov-Smirnov goodness of fit test on the inter-arrival time with
+//! exponential distribution, and got a p-value close to 0."
+//!
+//! The statistic is the usual sup-distance between the ECDF and the fitted
+//! exponential CDF; the p-value uses the asymptotic Kolmogorov distribution.
+//! (Fitting the rate from the same data makes the test slightly
+//! conservative — the Lilliefors correction would shrink p further, which
+//! only strengthens a rejection.)
+
+/// Result of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_n(x) - F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// Convenience: rejection at the given significance level.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Tests whether `samples` are exponentially distributed, with the rate
+/// fitted as `1/mean` (the MLE).
+///
+/// # Panics
+/// Panics on an empty sample or non-positive mean.
+pub fn ks_test_exponential(samples: &[f64]) -> KsResult {
+    assert!(!samples.is_empty(), "empty sample");
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    assert!(mean > 0.0, "non-positive mean");
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+
+    // D = max over order statistics of the one-sided deviations.
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = 1.0 - (-x / mean).exp();
+        let upper = (i as f64 + 1.0) / n as f64 - f;
+        let lower = f - i as f64 / n as f64;
+        d = d.max(upper).max(lower);
+    }
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf((n as f64).sqrt() * d),
+        n,
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} e^{-2 k² λ²}`.
+///
+/// For small λ the alternating series converges too slowly for floating
+/// point, so (as numerical references do) the dual theta-function form
+/// `P(λ) = (√(2π)/λ) Σ_{k≥1} e^{-(2k-1)² π² / (8 λ²)}` is used there.
+pub fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    if lambda > 6.0 {
+        return 0.0; // below double precision
+    }
+    if lambda < 1.18 {
+        // CDF via the small-λ series, then SF = 1 - CDF.
+        let f = std::f64::consts::PI * std::f64::consts::PI / (8.0 * lambda * lambda);
+        let mut cdf_sum = 0.0;
+        for k in 1..=20u32 {
+            let m = f64::from(2 * k - 1);
+            let term = (-(m * m) * f).exp();
+            cdf_sum += term;
+            if term < 1e-16 {
+                break;
+            }
+        }
+        let cdf = (2.0 * std::f64::consts::PI).sqrt() / lambda * cdf_sum;
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    let mut sum = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += if k % 2 == 1 { term } else { -term };
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_sim::rng::Rng;
+
+    #[test]
+    fn exponential_data_is_not_rejected() {
+        let mut rng = Rng::new(5);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.exp(3.0)).collect();
+        let r = ks_test_exponential(&xs);
+        assert!(
+            r.p_value > 0.01,
+            "true exponential rejected: D={} p={}",
+            r.statistic,
+            r.p_value
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_data_is_rejected() {
+        let mut rng = Rng::new(6);
+        // Pareto inter-arrivals — the kind of process µbursts resemble.
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.pareto(1.0, 1.2)).collect();
+        let r = ks_test_exponential(&xs);
+        assert!(r.p_value < 1e-6, "pareto not rejected: p={}", r.p_value);
+        assert!(r.rejects_at(0.001));
+    }
+
+    #[test]
+    fn bimodal_data_is_rejected() {
+        let mut rng = Rng::new(7);
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { 100.0 })
+            .collect();
+        let r = ks_test_exponential(&xs);
+        assert!(r.p_value < 1e-9);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_values() {
+        // Known points of the Kolmogorov distribution.
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.005, "K(1.36)");
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.003, "K(1.63)");
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert_eq!(kolmogorov_sf(10.0), 0.0);
+        // Small-lambda branch: essentially certain to exceed.
+        assert!(kolmogorov_sf(1e-6) > 0.999999);
+        assert!(kolmogorov_sf(0.3) > 0.999);
+        // Continuity across the branch switch at 1.18.
+        let below = kolmogorov_sf(1.1799);
+        let above = kolmogorov_sf(1.1801);
+        assert!((below - above).abs() < 1e-3, "{below} vs {above}");
+    }
+
+    #[test]
+    fn statistic_in_unit_interval() {
+        let mut rng = Rng::new(8);
+        let xs: Vec<f64> = (0..100).map(|_| rng.exp(1.0)).collect();
+        let r = ks_test_exponential(&xs);
+        assert!((0.0..=1.0).contains(&r.statistic));
+        assert_eq!(r.n, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        ks_test_exponential(&[]);
+    }
+}

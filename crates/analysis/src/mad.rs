@@ -1,0 +1,128 @@
+//! Load-balance dispersion: mean absolute deviation across uplinks (Fig. 7).
+//!
+//! For each sampling period the paper computes the mean absolute deviation
+//! (MAD) of the four uplinks' utilization, normalized by the mean so "an
+//! average deviation of 100 %" is meaningful across load levels. A value of
+//! 0 means perfect balance.
+
+/// Relative MAD of one sampling period's per-uplink values:
+/// `mean(|x_i - mean|) / mean`. Returns 0 for an all-zero period (nothing
+/// to balance).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn relative_mad(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "no uplinks");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let mad = values.iter().map(|v| (v - mean).abs()).sum::<f64>() / n;
+    mad / mean
+}
+
+/// Per-period relative MAD across aligned uplink series: input is one
+/// series per uplink; output has one value per sampling period.
+///
+/// Periods where every uplink is zero are skipped (idle rack tells us
+/// nothing about balance), matching the paper's conditioning on activity.
+///
+/// # Panics
+/// Panics if the series are unaligned.
+pub fn mad_per_period(uplinks: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = uplinks.first() else {
+        return Vec::new();
+    };
+    let n = first.len();
+    assert!(uplinks.iter().all(|s| s.len() == n), "unaligned series");
+    let mut out = Vec::with_capacity(n);
+    let mut buf = vec![0.0; uplinks.len()];
+    for i in 0..n {
+        for (b, s) in buf.iter_mut().zip(uplinks) {
+            *b = s[i];
+        }
+        if buf.iter().all(|&v| v == 0.0) {
+            continue;
+        }
+        out.push(relative_mad(&buf));
+    }
+    out
+}
+
+/// Aggregates fine-grained per-uplink utilization into coarse windows of
+/// `factor` consecutive periods (averaging), used for the paper's 1 s
+/// granularity curves next to the 40 µs ones.
+pub fn coarsen(series: &[f64], factor: usize) -> Vec<f64> {
+    assert!(factor > 0);
+    series
+        .chunks(factor)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_is_zero() {
+        assert_eq!(relative_mad(&[0.3, 0.3, 0.3, 0.3]), 0.0);
+    }
+
+    #[test]
+    fn one_hot_uplink_is_maximally_unbalanced() {
+        // One uplink carries everything: mean = x/4,
+        // MAD = (3·x/4 + 3·x/4·... ) → relative MAD = 1.5 for 4 links.
+        let m = relative_mad(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((m - 1.5).abs() < 1e-12, "got {m}");
+    }
+
+    #[test]
+    fn idle_period_is_zero() {
+        assert_eq!(relative_mad(&[0.0, 0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_invariant() {
+        let a = relative_mad(&[0.1, 0.2, 0.3, 0.4]);
+        let b = relative_mad(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_period_skips_idle() {
+        let u1 = vec![0.0, 0.5, 0.5];
+        let u2 = vec![0.0, 0.5, 0.0];
+        let m = mad_per_period(&[u1, u2]);
+        assert_eq!(m.len(), 2, "all-idle period skipped");
+        assert_eq!(m[0], 0.0); // balanced period
+        assert!(m[1] > 0.9); // one-sided period
+    }
+
+    #[test]
+    fn coarsen_averages() {
+        let s = vec![1.0, 3.0, 5.0, 7.0, 9.0];
+        assert_eq!(coarsen(&s, 2), vec![2.0, 6.0, 9.0]);
+        assert_eq!(coarsen(&s, 5), vec![5.0]);
+        assert_eq!(coarsen(&s, 1), s);
+    }
+
+    #[test]
+    fn coarse_windows_look_more_balanced() {
+        // Alternating one-sided periods are perfectly balanced at 2x
+        // coarsening — the Fig. 7 phenomenon in miniature.
+        let u1 = vec![1.0, 0.0, 1.0, 0.0];
+        let u2 = vec![0.0, 1.0, 0.0, 1.0];
+        let fine = mad_per_period(&[u1.clone(), u2.clone()]);
+        assert!(fine.iter().all(|&m| m > 0.9));
+        let coarse = mad_per_period(&[coarsen(&u1, 2), coarsen(&u2, 2)]);
+        assert!(coarse.iter().all(|&m| m < 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "no uplinks")]
+    fn empty_period_panics() {
+        relative_mad(&[]);
+    }
+}

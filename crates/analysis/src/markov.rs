@@ -1,0 +1,145 @@
+//! First-order two-state Markov analysis of burst correlation (Table 2).
+//!
+//! The paper fits a two-state chain on the hot/cold classification of
+//! consecutive 25 µs intervals, computes the MLE transition matrix
+//! `p(x_t = a | x_{t-1} = b) = count(x_t = a, x_{t-1} = b) / count(x_{t-1} = b)`,
+//! and summarizes temporal correlation with the likelihood ratio
+//! `r = p(1|1) / p(1|0)`: independent arrivals give `r ≈ 1`; the measured
+//! racks gave 119.7 (Web), 45.1 (Cache), 15.6 (Hadoop).
+
+/// MLE-fitted transition matrix of the hot/cold chain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionMatrix {
+    /// `p(x_t = 1 | x_{t-1} = 0)` — burst onset probability.
+    pub p01: f64,
+    /// `p(x_t = 1 | x_{t-1} = 1)` — burst continuation probability.
+    pub p11: f64,
+    /// Observed transitions out of state 0.
+    pub from0: u64,
+    /// Observed transitions out of state 1.
+    pub from1: u64,
+}
+
+impl TransitionMatrix {
+    /// `p(x_t = 0 | x_{t-1} = 0)`.
+    pub fn p00(&self) -> f64 {
+        1.0 - self.p01
+    }
+
+    /// `p(x_t = 0 | x_{t-1} = 1)`.
+    pub fn p10(&self) -> f64 {
+        1.0 - self.p11
+    }
+
+    /// The likelihood ratio `r = p(1|1)/p(1|0)`. Returns `f64::INFINITY`
+    /// when bursts never start from cold (p01 = 0 with hot samples present)
+    /// and `NaN` when the chain never leaves one state (no evidence).
+    pub fn likelihood_ratio(&self) -> f64 {
+        self.p11 / self.p01
+    }
+}
+
+/// Fits the MLE transition matrix to a hot/cold chain.
+///
+/// # Panics
+/// Panics when the chain has fewer than 2 samples (no transitions).
+pub fn fit_transition_matrix(chain: &[bool]) -> TransitionMatrix {
+    assert!(chain.len() >= 2, "need at least one transition");
+    let mut n00 = 0u64;
+    let mut n01 = 0u64;
+    let mut n10 = 0u64;
+    let mut n11 = 0u64;
+    for w in chain.windows(2) {
+        match (w[0], w[1]) {
+            (false, false) => n00 += 1,
+            (false, true) => n01 += 1,
+            (true, false) => n10 += 1,
+            (true, true) => n11 += 1,
+        }
+    }
+    let from0 = n00 + n01;
+    let from1 = n10 + n11;
+    TransitionMatrix {
+        p01: if from0 == 0 {
+            f64::NAN
+        } else {
+            n01 as f64 / from0 as f64
+        },
+        p11: if from1 == 0 {
+            f64::NAN
+        } else {
+            n11 as f64 / from1 as f64
+        },
+        from0,
+        from1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_alternation() {
+        // 0,1,0,1,... : p01 = 1, p11 = 0.
+        let chain: Vec<bool> = (0..100).map(|i| i % 2 == 1).collect();
+        let m = fit_transition_matrix(&chain);
+        assert_eq!(m.p01, 1.0);
+        assert_eq!(m.p11, 0.0);
+        assert_eq!(m.p00(), 0.0);
+        assert_eq!(m.p10(), 1.0);
+        assert_eq!(m.likelihood_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sticky_chain_has_high_ratio() {
+        // Long runs: 50 cold, 50 hot, repeated.
+        let chain: Vec<bool> = (0..1000).map(|i| (i / 50) % 2 == 1).collect();
+        let m = fit_transition_matrix(&chain);
+        assert!(m.p11 > 0.9, "p11 = {}", m.p11);
+        assert!(m.p01 < 0.05, "p01 = {}", m.p01);
+        assert!(m.likelihood_ratio() > 10.0);
+    }
+
+    #[test]
+    fn counts_are_reported() {
+        let chain = [false, false, true, true, false];
+        let m = fit_transition_matrix(&chain);
+        // transitions: 00, 01, 11, 10
+        assert_eq!(m.from0, 2);
+        assert_eq!(m.from1, 2);
+        assert!((m.p01 - 0.5).abs() < 1e-12);
+        assert!((m.p11 - 0.5).abs() < 1e-12);
+        assert!((m.likelihood_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_chain_ratio_near_one() {
+        // A pseudo-random iid chain (p = 0.3) should give r ≈ 1.
+        let mut x = 0x12345u64;
+        let chain: Vec<bool> = (0..200_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / ((1u64 << 53) as f64) < 0.3
+            })
+            .collect();
+        let m = fit_transition_matrix(&chain);
+        let r = m.likelihood_ratio();
+        assert!((0.9..=1.1).contains(&r), "iid chain r = {r}");
+    }
+
+    #[test]
+    fn all_cold_gives_nan_p11() {
+        let m = fit_transition_matrix(&[false, false, false]);
+        assert_eq!(m.p01, 0.0);
+        assert!(m.p11.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transition")]
+    fn singleton_rejected() {
+        fit_transition_matrix(&[true]);
+    }
+}

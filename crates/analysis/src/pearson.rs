@@ -1,0 +1,145 @@
+//! Pearson correlation (Fig. 1's corr coefficient, Fig. 8's heatmaps).
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0.0 when either sample has zero variance (a flat series is
+/// uncorrelated with everything; this matches how heatmaps render idle
+/// ports rather than propagating NaN).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(!xs.is_empty(), "empty sample");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Full correlation matrix across several aligned series — the server ×
+/// server heatmap of Fig. 8.
+///
+/// # Panics
+/// Panics if series lengths differ.
+pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = series.len();
+    if k == 0 {
+        return Vec::new();
+    }
+    let n = series[0].len();
+    assert!(series.iter().all(|s| s.len() == n), "unaligned series");
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let r = pearson(&series[i], &series[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Mean of the off-diagonal entries — a scalar "how correlated is this
+/// rack" summary used when comparing rack types.
+pub fn mean_offdiagonal(matrix: &[Vec<f64>]) -> f64 {
+    let k = matrix.len();
+    if k < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for (i, row) in matrix.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if i != j {
+                sum += v;
+                cnt += 1;
+            }
+        }
+    }
+    sum / cnt as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_correlation() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let x = vec![1.0, 2.0, 3.0];
+        let y = vec![3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_is_near_zero() {
+        // Deterministic "independent" pair: orthogonal sinusoid samples.
+        let n = 10_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).cos()).collect();
+        assert!(pearson(&x, &y).abs() < 0.02);
+    }
+
+    #[test]
+    fn constant_series_gives_zero() {
+        let x = vec![5.0, 5.0, 5.0];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let s = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+            vec![1.0, 1.0, 2.0, 2.0],
+        ];
+        let m = correlation_matrix(&s);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert!((m[0][1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_offdiagonal_summary() {
+        let m = vec![vec![1.0, 0.5], vec![0.5, 1.0]];
+        assert!((mean_offdiagonal(&m) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_offdiagonal(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        assert!(correlation_matrix(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

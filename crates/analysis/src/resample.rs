@@ -1,0 +1,137 @@
+//! Coarse-grained resampling — the "SNMP view" of fine data.
+//!
+//! Figs. 1 and 2 show what production monitoring sees: utilization and
+//! drops aggregated over minutes. This module turns a fine-grained
+//! cumulative series into fixed coarse windows, so the harnesses can show
+//! both views of the same simulated traffic, exactly as the paper contrasts
+//! its framework with SNMP polling.
+
+use uburst_core::Series;
+use uburst_sim::time::Nanos;
+
+/// One coarse window of a cumulative counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Window start (inclusive).
+    pub start: Nanos,
+    /// Window end (exclusive).
+    pub end: Nanos,
+    /// Counter delta attributed to this window.
+    pub delta: u64,
+}
+
+impl Window {
+    /// Average rate over the window in units/second.
+    pub fn rate(&self) -> f64 {
+        self.delta as f64 / (self.end - self.start).as_secs_f64()
+    }
+
+    /// Average utilization given the link speed in bits/second (for byte
+    /// counters).
+    pub fn utilization(&self, link_bps: u64) -> f64 {
+        self.rate() / (link_bps as f64 / 8.0)
+    }
+}
+
+/// Buckets a cumulative series into fixed windows of `width` starting at
+/// `origin`. Each sample's delta is attributed to the window containing the
+/// *end* of its interval (interval widths are microseconds against windows
+/// of minutes, so the attribution error is negligible — the same
+/// approximation an SNMP poller makes).
+///
+/// Windows before the first sample or without any samples report zero
+/// delta, as a real poller's subtraction would.
+pub fn to_windows(series: &Series, origin: Nanos, width: Nanos, end: Nanos) -> Vec<Window> {
+    assert!(!width.is_zero(), "zero window width");
+    assert!(end > origin, "empty range");
+    let n_windows = (end - origin).as_nanos().div_ceil(width.as_nanos()) as usize;
+    let mut deltas = vec![0u64; n_windows];
+    for r in series.rates() {
+        if r.t1 <= origin || r.t1 > end {
+            continue;
+        }
+        let idx = ((r.t1 - origin).as_nanos() - 1) / width.as_nanos();
+        deltas[idx as usize] += r.delta;
+    }
+    deltas
+        .into_iter()
+        .enumerate()
+        .map(|(i, delta)| Window {
+            start: origin + width * i as u64,
+            end: (origin + width * (i as u64 + 1)).min(end),
+            delta,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(points: &[(u64, u64)]) -> Series {
+        let mut s = Series::new();
+        for &(t, v) in points {
+            s.push(Nanos(t), v);
+        }
+        s
+    }
+
+    #[test]
+    fn deltas_land_in_their_windows() {
+        // Samples every 10ns, value +5 per interval; windows of 20ns.
+        let s = series(&[(0, 0), (10, 5), (20, 10), (30, 15), (40, 20)]);
+        let w = to_windows(&s, Nanos(0), Nanos(20), Nanos(40));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].delta, 10);
+        assert_eq!(w[1].delta, 10);
+        assert_eq!(w[0].start, Nanos(0));
+        assert_eq!(w[0].end, Nanos(20));
+    }
+
+    #[test]
+    fn empty_windows_report_zero() {
+        let s = series(&[(0, 0), (5, 100)]);
+        let w = to_windows(&s, Nanos(0), Nanos(10), Nanos(40));
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].delta, 100);
+        assert_eq!(w[1].delta, 0);
+        assert_eq!(w[3].delta, 0);
+    }
+
+    #[test]
+    fn total_is_conserved() {
+        let s = series(&[(0, 0), (7, 3), (13, 9), (29, 10), (35, 40)]);
+        let w = to_windows(&s, Nanos(0), Nanos(10), Nanos(40));
+        let total: u64 = w.iter().map(|x| x.delta).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn rate_and_utilization() {
+        let w = Window {
+            start: Nanos(0),
+            end: Nanos::from_secs(1),
+            delta: 1_250_000_000, // 1.25 GB in 1s = 10 Gbps
+        };
+        assert!((w.rate() - 1.25e9).abs() < 1.0);
+        assert!((w.utilization(10_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_outside_range_ignored() {
+        let s = series(&[(0, 0), (50, 5), (150, 25)]);
+        let w = to_windows(&s, Nanos(0), Nanos(100), Nanos(100));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].delta, 5, "the 150ns sample is out of range");
+    }
+
+    #[test]
+    fn boundary_sample_goes_to_earlier_window() {
+        // A delta ending exactly at a window boundary belongs to the window
+        // it closed.
+        let s = series(&[(0, 0), (20, 7)]);
+        let w = to_windows(&s, Nanos(0), Nanos(20), Nanos(40));
+        assert_eq!(w[0].delta, 7);
+        assert_eq!(w[1].delta, 0);
+    }
+}

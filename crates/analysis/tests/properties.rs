@@ -1,0 +1,173 @@
+//! Property-based tests for the analysis library's invariants.
+
+use proptest::prelude::*;
+use uburst_analysis::*;
+use uburst_core::{Series, UtilSample};
+use uburst_sim::time::Nanos;
+
+fn util_series_strategy() -> impl Strategy<Value = Vec<UtilSample>> {
+    prop::collection::vec(0.0f64..1.2, 1..500).prop_map(|utils| {
+        let dt = Nanos::from_micros(25);
+        utils
+            .into_iter()
+            .enumerate()
+            .map(|(i, util)| UtilSample {
+                t: dt * (i as u64 + 1),
+                dt,
+                util,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn burst_extraction_invariants(samples in util_series_strategy(), thr in 0.1f64..0.9) {
+        let a = extract_bursts(&samples, thr);
+        // Hot-sample accounting is exact.
+        let hot_direct = samples.iter().filter(|s| s.util > thr).count();
+        prop_assert_eq!(a.hot_samples, hot_direct);
+        prop_assert_eq!(a.total_samples, samples.len());
+        let in_bursts: usize = a.bursts.iter().map(|b| b.samples).sum();
+        prop_assert_eq!(in_bursts, hot_direct);
+        // Structure: gaps fit between bursts; everything is ordered and positive.
+        prop_assert_eq!(a.gaps.len(), a.bursts.len().saturating_sub(1));
+        for b in &a.bursts {
+            prop_assert!(b.end > b.start);
+            prop_assert!(b.samples >= 1);
+        }
+        for w in a.bursts.windows(2) {
+            prop_assert!(w[1].start >= w[0].end);
+        }
+        // Hot fraction is a fraction.
+        prop_assert!((0.0..=1.0).contains(&a.hot_fraction()));
+    }
+
+    #[test]
+    fn hot_chain_matches_extraction(samples in util_series_strategy(), thr in 0.1f64..0.9) {
+        let chain = hot_chain(&samples, thr);
+        prop_assert_eq!(chain.len(), samples.len());
+        let hot = chain.iter().filter(|&&h| h).count();
+        prop_assert_eq!(hot, extract_bursts(&samples, thr).hot_samples);
+    }
+
+    #[test]
+    fn markov_probabilities_are_probabilities(chain in prop::collection::vec(any::<bool>(), 2..400)) {
+        let m = fit_transition_matrix(&chain);
+        if m.from0 > 0 {
+            prop_assert!((0.0..=1.0).contains(&m.p01));
+            prop_assert!(((m.p01 + m.p00()) - 1.0).abs() < 1e-12);
+        }
+        if m.from1 > 0 {
+            prop_assert!((0.0..=1.0).contains(&m.p11));
+            prop_assert!(((m.p11 + m.p10()) - 1.0).abs() < 1e-12);
+        }
+        prop_assert_eq!(m.from0 + m.from1, chain.len() as u64 - 1);
+    }
+
+    #[test]
+    fn ecdf_is_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let e = Ecdf::new(xs);
+        // Quantiles increase with q.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = e.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last);
+            last = q;
+        }
+        // CDF increases with x and brackets [0,1].
+        let lo = e.fraction_at_or_below(e.min() - 1.0);
+        let hi = e.fraction_at_or_below(e.max());
+        prop_assert_eq!(lo, 0.0);
+        prop_assert_eq!(hi, 1.0);
+        prop_assert!(e.fraction_at_or_below(e.quantile(0.5)) >= 0.5);
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 3..100),
+    ) {
+        let n = xs.len().min(ys.len());
+        let r = pearson(&xs[..n], &ys[..n]);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        let r2 = pearson(&ys[..n], &xs[..n]);
+        prop_assert!((r - r2).abs() < 1e-12);
+        // Perfect self-correlation unless degenerate.
+        let self_r = pearson(&xs[..n], &xs[..n]);
+        prop_assert!(self_r == 0.0 || (self_r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_mad_properties(vals in prop::collection::vec(0.0f64..10.0, 1..32), scale in 0.1f64..100.0) {
+        let m = relative_mad(&vals);
+        prop_assert!(m >= 0.0);
+        // Scale invariance.
+        let scaled: Vec<f64> = vals.iter().map(|v| v * scale).collect();
+        prop_assert!((relative_mad(&scaled) - m).abs() < 1e-9);
+        // Perfectly balanced input has (numerically) zero MAD.
+        let flat = vec![vals[0]; vals.len()];
+        prop_assert!(relative_mad(&flat) < 1e-9);
+    }
+
+    #[test]
+    fn summary_is_ordered(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    #[test]
+    fn windows_conserve_deltas(
+        deltas in prop::collection::vec(0u64..10_000, 2..200),
+        width_us in 1u64..500,
+    ) {
+        // Build a cumulative series at 25us spacing.
+        let mut series = Series::new();
+        let mut total = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            total += d;
+            series.push(Nanos(25_000 * (i as u64 + 1)), total);
+        }
+        let origin = Nanos(series.ts[0]);
+        let end = Nanos(*series.ts.last().unwrap());
+        if end > origin {
+            let w = to_windows(&series, origin, Nanos::from_micros(width_us), end);
+            let windowed: u64 = w.iter().map(|x| x.delta).sum();
+            let expected: u64 = deltas[1..].iter().sum();
+            prop_assert_eq!(windowed, expected);
+        }
+    }
+
+    #[test]
+    fn kolmogorov_sf_is_decreasing(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(kolmogorov_sf(lo) >= kolmogorov_sf(hi));
+        prop_assert!((0.0..=1.0).contains(&kolmogorov_sf(a)));
+    }
+
+    #[test]
+    fn hot_port_counts_bounded(
+        utils in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 50), 1..8),
+    ) {
+        let series: Vec<Vec<UtilSample>> = utils
+            .iter()
+            .map(|u| {
+                let dt = Nanos::from_micros(300);
+                u.iter()
+                    .enumerate()
+                    .map(|(i, &util)| UtilSample { t: dt * (i as u64 + 1), dt, util })
+                    .collect()
+            })
+            .collect();
+        let counts = hot_port_counts(&series, 0.5);
+        prop_assert_eq!(counts.len(), 50);
+        for c in counts {
+            prop_assert!(c <= series.len());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The counter banks a switching ASIC maintains.
+//!
+//! Models the three counter families the paper polls (§4.1):
+//!
+//! * **Byte/packet counters** — cumulative per-port RX/TX counts. Reads are
+//!   non-destructive; rates are computed from deltas, so a missed sampling
+//!   interval loses resolution but never bytes ("we still capture the total
+//!   number of bytes and correct timestamp", Table 1 caption).
+//! * **Packet-size histograms** — per-port RMON-style bins ("The ASIC bins
+//!   packets into several buckets", §5.3).
+//! * **Peak buffer occupancy** — a read-and-clear register tracking the
+//!   maximum shared-buffer fill since the last read, "so that we do not miss
+//!   any congestion events" (§4.1).
+//!
+//! All cells use interior mutability (`Cell`) because the switch data path
+//! writes them while the polling framework holds a shared reference.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use uburst_sim::counters::CounterSink;
+use uburst_sim::node::PortId;
+
+/// RMON-style packet-size histogram bin boundaries (inclusive upper edges,
+/// in frame bytes). Mirrors the etherStatsPkts64/128/256/512/1024/1518
+/// groups merchant ASICs implement, plus an oversize bin.
+pub const SIZE_BIN_EDGES: [u32; 6] = [64, 127, 255, 511, 1023, 1518];
+
+/// Number of histogram bins (the edges above plus the oversize bin).
+pub const N_SIZE_BINS: usize = SIZE_BIN_EDGES.len() + 1;
+
+/// Human-readable labels for the size bins, index-aligned with counters.
+pub const SIZE_BIN_LABELS: [&str; N_SIZE_BINS] = [
+    "<=64", "65-127", "128-255", "256-511", "512-1023", "1024-1518", ">1518",
+];
+
+/// Maps a frame size to its histogram bin index.
+pub fn size_bin(bytes: u32) -> usize {
+    SIZE_BIN_EDGES
+        .iter()
+        .position(|&edge| bytes <= edge)
+        .unwrap_or(N_SIZE_BINS - 1)
+}
+
+/// Names one readable counter instance on the ASIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterId {
+    /// Cumulative bytes received on a port.
+    RxBytes(PortId),
+    /// Cumulative frames received on a port.
+    RxPackets(PortId),
+    /// Cumulative bytes transmitted out of a port.
+    TxBytes(PortId),
+    /// Cumulative frames transmitted out of a port.
+    TxPackets(PortId),
+    /// Cumulative congestion discards charged to an egress port.
+    Drops(PortId),
+    /// One bin of the received-frame size histogram.
+    RxSizeHist(PortId, u8),
+    /// One bin of the transmitted-frame size histogram.
+    TxSizeHist(PortId, u8),
+    /// Instantaneous shared-buffer occupancy in bytes.
+    BufferLevel,
+    /// Peak shared-buffer occupancy since the last read (read-and-clear).
+    BufferPeak,
+}
+
+impl CounterId {
+    /// Is reading this counter destructive (read-and-clear)?
+    pub fn is_read_and_clear(self) -> bool {
+        matches!(self, CounterId::BufferPeak)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PortBank {
+    rx_bytes: Cell<u64>,
+    rx_packets: Cell<u64>,
+    tx_bytes: Cell<u64>,
+    tx_packets: Cell<u64>,
+    drops_packets: Cell<u64>,
+    rx_hist: [Cell<u64>; N_SIZE_BINS],
+    tx_hist: [Cell<u64>; N_SIZE_BINS],
+}
+
+/// The full counter state of one ASIC.
+///
+/// Implements [`CounterSink`] so a [`uburst_sim::switch::Switch`] writes it
+/// directly; the telemetry framework reads it through [`AsicCounters::read`].
+#[derive(Debug)]
+pub struct AsicCounters {
+    ports: Vec<PortBank>,
+    buffer_level: Cell<u64>,
+    buffer_peak: Cell<u64>,
+}
+
+impl AsicCounters {
+    /// A zeroed counter bank for a switch with `n_ports` ports, wrapped for
+    /// sharing between the switch and the poller.
+    pub fn new_shared(n_ports: usize) -> Rc<Self> {
+        Rc::new(Self::new(n_ports))
+    }
+
+    /// A zeroed counter bank for a switch with `n_ports` ports.
+    pub fn new(n_ports: usize) -> Self {
+        AsicCounters {
+            ports: (0..n_ports).map(|_| PortBank::default()).collect(),
+            buffer_level: Cell::new(0),
+            buffer_peak: Cell::new(0),
+        }
+    }
+
+    /// Number of per-port banks.
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    fn bank(&self, port: PortId) -> &PortBank {
+        &self.ports[port.0 as usize]
+    }
+
+    /// Reads one counter. `BufferPeak` is destructive: it returns the peak
+    /// since the previous read and re-seeds the register with the current
+    /// level, exactly like the hardware register the paper used.
+    pub fn read(&self, id: CounterId) -> u64 {
+        match id {
+            CounterId::RxBytes(p) => self.bank(p).rx_bytes.get(),
+            CounterId::RxPackets(p) => self.bank(p).rx_packets.get(),
+            CounterId::TxBytes(p) => self.bank(p).tx_bytes.get(),
+            CounterId::TxPackets(p) => self.bank(p).tx_packets.get(),
+            CounterId::Drops(p) => self.bank(p).drops_packets.get(),
+            CounterId::RxSizeHist(p, b) => self.bank(p).rx_hist[b as usize].get(),
+            CounterId::TxSizeHist(p, b) => self.bank(p).tx_hist[b as usize].get(),
+            CounterId::BufferLevel => self.buffer_level.get(),
+            CounterId::BufferPeak => {
+                let peak = self.buffer_peak.get();
+                self.buffer_peak.set(self.buffer_level.get());
+                peak
+            }
+        }
+    }
+
+    /// Reads a group of counters in order (one "poll" worth).
+    pub fn read_group(&self, ids: &[CounterId]) -> Vec<u64> {
+        ids.iter().map(|&id| self.read(id)).collect()
+    }
+
+    /// Peeks at the peak register without clearing (diagnostics only; the
+    /// hardware analogue does not exist).
+    pub fn peek_buffer_peak(&self) -> u64 {
+        self.buffer_peak.get()
+    }
+}
+
+impl CounterSink for AsicCounters {
+    fn count_rx(&self, port: PortId, bytes: u32) {
+        let b = self.bank(port);
+        b.rx_bytes.set(b.rx_bytes.get() + u64::from(bytes));
+        b.rx_packets.set(b.rx_packets.get() + 1);
+        let bin = &b.rx_hist[size_bin(bytes)];
+        bin.set(bin.get() + 1);
+    }
+
+    fn count_tx(&self, port: PortId, bytes: u32) {
+        let b = self.bank(port);
+        b.tx_bytes.set(b.tx_bytes.get() + u64::from(bytes));
+        b.tx_packets.set(b.tx_packets.get() + 1);
+        let bin = &b.tx_hist[size_bin(bytes)];
+        bin.set(bin.get() + 1);
+    }
+
+    fn count_drop(&self, port: PortId, _bytes: u32) {
+        let b = self.bank(port);
+        b.drops_packets.set(b.drops_packets.get() + 1);
+    }
+
+    fn buffer_level(&self, used_bytes: u64) {
+        self.buffer_level.set(used_bytes);
+        if used_bytes > self.buffer_peak.get() {
+            self.buffer_peak.set(used_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bins_cover_edges() {
+        assert_eq!(size_bin(0), 0);
+        assert_eq!(size_bin(64), 0);
+        assert_eq!(size_bin(65), 1);
+        assert_eq!(size_bin(127), 1);
+        assert_eq!(size_bin(128), 2);
+        assert_eq!(size_bin(512), 4);
+        assert_eq!(size_bin(1518), 5);
+        assert_eq!(size_bin(1519), 6);
+        assert_eq!(size_bin(9000), 6);
+    }
+
+    #[test]
+    fn rx_accounting() {
+        let c = AsicCounters::new(2);
+        c.count_rx(PortId(0), 100);
+        c.count_rx(PortId(0), 1500);
+        c.count_rx(PortId(1), 64);
+        assert_eq!(c.read(CounterId::RxBytes(PortId(0))), 1600);
+        assert_eq!(c.read(CounterId::RxPackets(PortId(0))), 2);
+        assert_eq!(c.read(CounterId::RxBytes(PortId(1))), 64);
+        assert_eq!(c.read(CounterId::RxSizeHist(PortId(0), 1)), 1); // 100B
+        assert_eq!(c.read(CounterId::RxSizeHist(PortId(0), 5)), 1); // 1500B
+        assert_eq!(c.read(CounterId::RxSizeHist(PortId(1), 0)), 1); // 64B
+    }
+
+    #[test]
+    fn tx_and_drop_accounting() {
+        let c = AsicCounters::new(1);
+        c.count_tx(PortId(0), 1000);
+        c.count_drop(PortId(0), 1500);
+        c.count_drop(PortId(0), 1500);
+        assert_eq!(c.read(CounterId::TxBytes(PortId(0))), 1000);
+        assert_eq!(c.read(CounterId::TxPackets(PortId(0))), 1);
+        assert_eq!(c.read(CounterId::Drops(PortId(0))), 2);
+    }
+
+    #[test]
+    fn reads_are_nondestructive_except_peak() {
+        let c = AsicCounters::new(1);
+        c.count_rx(PortId(0), 500);
+        for _ in 0..3 {
+            assert_eq!(c.read(CounterId::RxBytes(PortId(0))), 500);
+        }
+    }
+
+    #[test]
+    fn peak_register_semantics() {
+        let c = AsicCounters::new(1);
+        c.buffer_level(1000);
+        c.buffer_level(5000);
+        c.buffer_level(2000);
+        assert_eq!(c.read(CounterId::BufferLevel), 2000);
+        // First read returns the peak...
+        assert_eq!(c.read(CounterId::BufferPeak), 5000);
+        // ...and re-seeds with the current level.
+        assert_eq!(c.read(CounterId::BufferPeak), 2000);
+        // A new excursion is captured even if we never sample during it.
+        c.buffer_level(9000);
+        c.buffer_level(0);
+        assert_eq!(c.read(CounterId::BufferPeak), 9000);
+        assert_eq!(c.read(CounterId::BufferPeak), 0);
+    }
+
+    #[test]
+    fn read_group_orders_values() {
+        let c = AsicCounters::new(2);
+        c.count_rx(PortId(0), 10);
+        c.count_tx(PortId(1), 20);
+        let vals = c.read_group(&[
+            CounterId::RxBytes(PortId(0)),
+            CounterId::TxBytes(PortId(1)),
+            CounterId::Drops(PortId(0)),
+        ]);
+        assert_eq!(vals, vec![10, 20, 0]);
+    }
+
+    #[test]
+    fn histogram_totals_match_packet_counts() {
+        let c = AsicCounters::new(1);
+        let sizes = [64, 65, 100, 300, 700, 1400, 1514, 2000];
+        for s in sizes {
+            c.count_rx(PortId(0), s);
+        }
+        let hist_total: u64 = (0..N_SIZE_BINS as u8)
+            .map(|b| c.read(CounterId::RxSizeHist(PortId(0), b)))
+            .sum();
+        assert_eq!(hist_total, sizes.len() as u64);
+        assert_eq!(
+            c.read(CounterId::RxPackets(PortId(0))),
+            sizes.len() as u64
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_port_panics() {
+        let c = AsicCounters::new(1);
+        c.read(CounterId::RxBytes(PortId(5)));
+    }
+}

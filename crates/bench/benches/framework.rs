@@ -1,0 +1,152 @@
+//! Criterion benchmarks for the collection framework: how fast the
+//! building blocks run on the host (distinct from the simulated-time
+//! behaviour the figures measure).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use uburst_asic::{AccessModel, AsicCounters, CounterId};
+use uburst_core::batch::{Batch, BatchPolicy, Batcher, SourceId};
+use uburst_core::collector::Collector;
+use uburst_core::poller::Poller;
+use uburst_core::series::Series;
+use uburst_core::spec::CampaignConfig;
+use uburst_sim::counters::CounterSink;
+use uburst_sim::events::{EventKind, EventQueue};
+use uburst_sim::node::{NodeId, PortId};
+use uburst_sim::sim::Simulator;
+use uburst_sim::time::Nanos;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(
+                        Nanos((i * 7919) % 100_000),
+                        EventKind::Timer {
+                            node: NodeId(0),
+                            token: i,
+                        },
+                    );
+                }
+                while let Some(e) = q.pop_until(Nanos::MAX) {
+                    black_box(e.time);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_counter_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("asic_counters");
+    let bank = AsicCounters::new(32);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("count_tx", |b| {
+        b.iter(|| bank.count_tx(black_box(PortId(3)), black_box(1500)))
+    });
+    g.bench_function("read_byte_counter", |b| {
+        b.iter(|| black_box(bank.read(CounterId::TxBytes(PortId(3)))))
+    });
+    g.bench_function("poll_cost_model_4_counters", |b| {
+        let access = AccessModel::default();
+        let ids: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
+        b.iter(|| black_box(access.poll_cost(&ids)))
+    });
+    g.finish();
+}
+
+fn bench_poller_loop(c: &mut Criterion) {
+    // Host cost of simulating one second of 25us polling on an idle bank.
+    let mut g = c.benchmark_group("poller");
+    g.sample_size(20);
+    g.bench_function("simulate_1s_at_25us", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            let bank = AsicCounters::new_shared(4);
+            let poller = Poller::in_memory(
+                bank,
+                AccessModel::default(),
+                CampaignConfig::single(
+                    "bytes",
+                    CounterId::TxBytes(PortId(0)),
+                    Nanos::from_micros(25),
+                ),
+                1,
+            );
+            let id = poller.spawn(&mut sim, Nanos::ZERO, Nanos::from_secs(1));
+            sim.run_until(Nanos::MAX);
+            black_box(sim.node_mut::<Poller>(id).stats().polls)
+        })
+    });
+    g.finish();
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batcher");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("record_10k_samples", |b| {
+        b.iter_batched(
+            || {
+                Batcher::new(
+                    SourceId(0),
+                    "bench",
+                    vec![CounterId::TxBytes(PortId(0))],
+                    BatchPolicy::default(),
+                )
+            },
+            |mut batcher| {
+                for i in 0..10_000u64 {
+                    black_box(batcher.record(Nanos(i * 25_000), &[i]));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collector");
+    g.sample_size(20);
+    let make_batch = |k: u64| {
+        let mut s = Series::new();
+        for i in 0..1_000u64 {
+            s.push(Nanos(k * 1_000_000 + i * 25), i);
+        }
+        Batch {
+            source: SourceId(0),
+            campaign: "bench".into(),
+            counter: CounterId::TxBytes(PortId(0)),
+            samples: s,
+        }
+    };
+    g.throughput(Throughput::Elements(100 * 1_000));
+    g.bench_function("ingest_100_batches_of_1k", |b| {
+        b.iter(|| {
+            let (collector, tx) = Collector::start(2, 64);
+            for k in 0..100u64 {
+                tx.send(make_batch(k)).expect("send");
+            }
+            drop(tx);
+            let (store, n) = collector.shutdown();
+            black_box((store.total_samples(), n))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_counter_ops,
+    bench_poller_loop,
+    bench_batcher,
+    bench_collector
+);
+criterion_main!(benches);

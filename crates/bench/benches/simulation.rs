@@ -1,0 +1,47 @@
+//! Criterion benchmarks for the simulator: host time to simulate fixed
+//! spans of each measured-rack scenario, and raw transport throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{build_scenario, RackType, ScenarioConfig};
+
+fn bench_rack_scenarios(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_20ms");
+    g.sample_size(10);
+    for rack_type in RackType::ALL {
+        g.bench_function(rack_type.name(), |b| {
+            b.iter(|| {
+                let mut s = build_scenario(ScenarioConfig::new(rack_type, 9));
+                s.sim.run_until(Nanos::from_millis(20));
+                black_box(s.sim.dispatched())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_rate(c: &mut Criterion) {
+    // Events/second the DES core sustains on the heaviest scenario.
+    let mut g = c.benchmark_group("event_rate");
+    g.sample_size(10);
+    // Pre-measure event count for throughput reporting.
+    let events = {
+        let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
+        s.sim.run_until(Nanos::from_millis(20));
+        s.sim.dispatched()
+    };
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("hadoop_20ms_events", |b| {
+        b.iter(|| {
+            let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
+            s.sim.run_until(Nanos::from_millis(20));
+            black_box(s.sim.dispatched())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rack_scenarios, bench_event_rate);
+criterion_main!(benches);

@@ -1,0 +1,183 @@
+//! Extension experiment: microflow (flowlet) load balancing.
+//!
+//! §7, "Implications for load balancing": "Many recent proposals suggest
+//! load balancing on microflows rather than 5-tuples — essentially
+//! splitting a flow as soon as the inter-packet gap is long enough to
+//! guarantee no reordering. While our framework does not measure
+//! inter-packet gaps directly, we note that most observed inter-burst
+//! periods exceed typical end-to-end latencies and that non-burst
+//! utilization is low."
+//!
+//! This experiment closes the loop the paper could not: it implements
+//! flowlet switching in the ToR's ECMP stage and measures, on the same
+//! Hadoop rack, (a) how much of Fig. 7's fine-grained imbalance flowlets
+//! recover, and (b) the reordering cost, as a function of the flowlet gap
+//! relative to end-to-end latency.
+//!
+//! Run with `cargo run --release -p uburst-bench --bin ext_flowlet_lb`.
+
+use uburst_analysis::{coarsen, mad_per_period, Ecdf};
+use uburst_asic::CounterId;
+use uburst_bench::campaign::run_campaign;
+use uburst_bench::report::Table;
+use uburst_sim::node::PortId;
+use uburst_sim::routing::EcmpMode;
+use uburst_sim::switch::Switch;
+use uburst_sim::time::Nanos;
+use uburst_workloads::host::AppHost;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+fn panel(title: &str, window_limited: bool, span: Nanos) -> Vec<(String, f64, u64, f64)> {
+    println!("### {title}\n");
+    let modes: Vec<(String, EcmpMode)> = vec![
+        ("flow-hash (production)".into(), EcmpMode::FlowHash),
+        (
+            "flowlet gap=500us".into(),
+            EcmpMode::Flowlet {
+                gap: Nanos::from_micros(500),
+            },
+        ),
+        (
+            "flowlet gap=100us".into(),
+            EcmpMode::Flowlet {
+                gap: Nanos::from_micros(100),
+            },
+        ),
+        (
+            "flowlet gap=20us".into(),
+            EcmpMode::Flowlet {
+                gap: Nanos::from_micros(20),
+            },
+        ),
+        ("packet-spray (ideal)".into(), EcmpMode::PacketSpray),
+    ];
+
+    let mut t = Table::new(&[
+        "mode",
+        "mad_p50@40us",
+        "mad_p90@40us",
+        "mad_p50@1ms",
+        "retransmits",
+        "fast_retx",
+        "goodput",
+    ]);
+    let mut rows: Vec<(String, f64, u64, f64)> = Vec::new();
+
+    for (name, mode) in modes {
+        let mut cfg = ScenarioConfig::new(RackType::Hadoop, 50_050);
+        cfg.clos.ecmp_mode = mode;
+        if window_limited {
+            // Small windows stall every RTT — the inter-burst gaps §7 says
+            // microflow balancers can exploit.
+            cfg.transport.max_cwnd = 10;
+        }
+        let n = cfg.n_servers;
+        let uplink_bps = cfg.clos.uplink.bandwidth_bps;
+        let counters: Vec<CounterId> = (0..4)
+            .map(|f| CounterId::TxBytes(PortId((n + f) as u16)))
+            .collect();
+        let run = run_campaign(cfg, counters.clone(), Nanos::from_micros(40), span);
+        let series: Vec<Vec<f64>> = counters
+            .iter()
+            .map(|&c| {
+                run.utilization(c, uplink_bps)
+                    .iter()
+                    .map(|u| u.util)
+                    .collect()
+            })
+            .collect();
+        let mad = Ecdf::new(mad_per_period(&series));
+        let coarse: Vec<Vec<f64>> = series.iter().map(|s| coarsen(s, 25)).collect();
+        let mad_coarse = Ecdf::new(mad_per_period(&coarse));
+        let (mut retx, mut fast) = (0u64, 0u64);
+        for &h in run
+            .scenario
+            .rack_hosts
+            .iter()
+            .chain(&run.scenario.remote_hosts)
+        {
+            let s = run.scenario.sim.node::<AppHost>(h).transport_stats();
+            retx += s.retransmits;
+            fast += s.fast_retransmits;
+        }
+        // Goodput proxy: bytes the ToR moved toward servers.
+        let tor = run.scenario.tor();
+        let moved = run.scenario.sim.node::<Switch>(tor).stats().tx_bytes;
+        t.row(&[
+            name.clone(),
+            format!("{:.2}", mad.quantile(0.5)),
+            format!("{:.2}", mad.quantile(0.9)),
+            format!("{:.2}", mad_coarse.quantile(0.5)),
+            format!("{retx}"),
+            format!("{fast}"),
+            uburst_bench::report::fmt_bytes(moved),
+        ]);
+        rows.push((name, mad.quantile(0.5), retx, mad_coarse.quantile(0.5)));
+    }
+    t.print();
+    println!();
+    rows
+}
+
+fn main() {
+    let span = Nanos::from_millis(200);
+    println!("extension: flowlet load balancing on the Hadoop rack ({span} campaigns)");
+    println!();
+
+    let backlogged = panel(
+        "panel A: backlogged senders (default windows, ack-clocked, no pauses)",
+        false,
+        span,
+    );
+    let limited = panel(
+        "panel B: window-limited senders (cwnd cap 10 -> RTT-scale stalls)",
+        true,
+        span,
+    );
+
+    println!("reading: flowlet switching subdivides a flow only where the flow");
+    println!("pauses. Backlogged, ack-clocked senders never pause (panel A), so");
+    println!("flowlets degenerate to flows and only per-packet spraying balances —");
+    println!("a refinement of the paper's suggestion. Window-limited senders stall");
+    println!("every RTT (panel B); flowlets then split flows into ~window-sized");
+    println!("units, which helps at granularities coarser than a flowlet (the 1ms");
+    println!("column) but cannot beat one-flowlet-per-sample at 40us: microflow LB");
+    println!("improves balance exactly down to the flowlet timescale, no further.");
+
+    println!("\nchecks:");
+    println!(
+        "  [{}] panel A: flowlets == flows for backlogged traffic (MAD {:.2} vs {:.2})",
+        if (backlogged[2].1 - backlogged[0].1).abs() < 0.25 {
+            "ok"
+        } else {
+            "MISS"
+        },
+        backlogged[2].1,
+        backlogged[0].1
+    );
+    println!(
+        "  [{}] panel B: sub-stall flowlets improve fine balance (MAD@40us {:.2} -> {:.2})",
+        if limited[3].1 < limited[0].1 - 0.03 {
+            "ok"
+        } else {
+            "MISS"
+        },
+        limited[0].1,
+        limited[3].1
+    );
+    println!(
+        "  [{}] panel B: flowlets approach balance at coarser-than-flowlet scales (MAD@1ms {:.2} -> {:.2})",
+        if limited[3].3 < 0.7 * limited[0].3 {
+            "ok"
+        } else {
+            "MISS"
+        },
+        limited[0].3,
+        limited[3].3
+    );
+    println!(
+        "  [{}] spraying still balances best but relies on reordering tolerance ({:.2})",
+        if backlogged[4].1 < 0.3 { "ok" } else { "MISS" },
+        backlogged[4].1
+    );
+}

@@ -1,0 +1,7 @@
+//! Reproduction harness for the paper's fig02. See
+//! `uburst_bench::figures::fig02` for methodology and paper targets.
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    print!("{}", uburst_bench::figures::fig02::run(scale));
+}

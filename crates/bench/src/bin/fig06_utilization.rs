@@ -1,0 +1,7 @@
+//! Reproduction harness for the paper's fig06. See
+//! `uburst_bench::figures::fig06` for methodology and paper targets.
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    print!("{}", uburst_bench::figures::fig06::run(scale));
+}

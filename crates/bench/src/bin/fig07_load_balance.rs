@@ -1,0 +1,7 @@
+//! Reproduction harness for the paper's fig07. See
+//! `uburst_bench::figures::fig07` for methodology and paper targets.
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    print!("{}", uburst_bench::figures::fig07::run(scale));
+}

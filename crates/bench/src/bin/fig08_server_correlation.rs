@@ -1,0 +1,7 @@
+//! Reproduction harness for the paper's fig08. See
+//! `uburst_bench::figures::fig08` for methodology and paper targets.
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    print!("{}", uburst_bench::figures::fig08::run(scale));
+}

@@ -1,0 +1,17 @@
+//! Runs every table/figure harness and prints a combined report —
+//! the data behind EXPERIMENTS.md.
+
+use std::time::Instant;
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    println!("uburst reproduction report (scale: {})", scale.label());
+    println!("====================================================");
+    for (id, title, runner) in uburst_bench::figures::all_experiments() {
+        let t0 = Instant::now();
+        let report = runner(scale);
+        println!("\n### {id}: {title}\n");
+        print!("{report}");
+        println!("\n[{id} completed in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,219 @@
+//! Running measurement campaigns against scenarios.
+//!
+//! Mirrors the paper's methodology (§4.1/§4.2): build a measured rack, let
+//! it warm up, attach the collection framework to the ToR's ASIC, poll for
+//! a campaign window, convert cumulative byte series to per-interval
+//! utilization.
+
+use uburst_asic::{AccessModel, CounterId};
+use uburst_core::poller::Poller;
+use uburst_core::series::{Series, UtilSample};
+use uburst_core::spec::CampaignConfig;
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{build_scenario, Scenario, ScenarioConfig};
+
+/// The outcome of one campaign on one rack instance.
+pub struct CampaignRun {
+    /// The scenario after the run (counters, stats, hosts all inspectable).
+    pub scenario: Scenario,
+    /// `(counter, series)` pairs in campaign order.
+    pub series: Vec<(CounterId, Series)>,
+    /// Poller behaviour during the campaign.
+    pub poller_stats: uburst_core::poller::PollerStats,
+}
+
+impl CampaignRun {
+    /// The series for `counter`, panicking if it was not in the campaign.
+    pub fn series_for(&self, counter: CounterId) -> &Series {
+        &self
+            .series
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .unwrap_or_else(|| panic!("counter {counter:?} not in campaign"))
+            .1
+    }
+
+    /// Utilization samples for a TX byte counter on a port with link rate
+    /// `bps`.
+    pub fn utilization(&self, counter: CounterId, bps: u64) -> Vec<UtilSample> {
+        self.series_for(counter).utilization(bps)
+    }
+}
+
+/// Runs one campaign on a freshly built scenario: warm up, then poll
+/// `counters` together at `interval` for `span`.
+pub fn run_campaign(
+    cfg: ScenarioConfig,
+    counters: Vec<CounterId>,
+    interval: Nanos,
+    span: Nanos,
+) -> CampaignRun {
+    let seed = cfg.seed;
+    let mut scenario = build_scenario(cfg);
+    let warmup = scenario.recommended_warmup();
+    scenario.sim.run_until(warmup);
+    let campaign = CampaignConfig::group("bench", counters, interval);
+    let poller = Poller::in_memory(
+        scenario.counters.clone(),
+        AccessModel::default(),
+        campaign,
+        seed ^ 0x9e37_79b9,
+    );
+    let stop = warmup + span;
+    let id = poller.spawn(&mut scenario.sim, warmup, stop);
+    // Slack past the stop so the final in-flight poll completes.
+    scenario.sim.run_until(stop + Nanos::from_millis(1));
+    let poller_ref = scenario.sim.node_mut::<Poller>(id);
+    let poller_stats = poller_ref.stats();
+    let series = poller_ref.take_series();
+    CampaignRun {
+        scenario,
+        series,
+        poller_stats,
+    }
+}
+
+/// The port a single-port campaign measures for a rack type, chosen
+/// pseudo-randomly from the seed the way the paper picked "a random port"
+/// per rack. Bursts concentrate where the rack's bottleneck is (Fig. 9):
+/// Web and Hadoop burst toward servers, so a random active port is a
+/// downlink; Cache bursts on its uplinks, so the representative port is an
+/// uplink (a random Cache *downlink* is ~idle — it only carries requests).
+pub fn representative_port(cfg: &ScenarioConfig) -> PortId {
+    let salt = (cfg.seed as usize).wrapping_mul(31);
+    match cfg.rack_type {
+        uburst_workloads::RackType::Cache => {
+            PortId((cfg.n_servers + salt % cfg.clos.n_fabric) as u16)
+        }
+        _ => PortId((salt % cfg.n_servers) as u16),
+    }
+}
+
+/// The link speed of a ToR port in bits/sec (downlink vs. uplink).
+pub fn port_bps(cfg: &ScenarioConfig, port: PortId) -> u64 {
+    if (port.0 as usize) < cfg.n_servers {
+        cfg.clos.server_link.bandwidth_bps
+    } else {
+        cfg.clos.uplink.bandwidth_bps
+    }
+}
+
+/// Single-port, single-counter campaign at the paper's highest resolution:
+/// the egress byte counter of one ToR port. `port_index` selects an
+/// explicit port (`None` uses [`representative_port`]).
+pub fn measure_single_port(
+    cfg: ScenarioConfig,
+    port_index: Option<usize>,
+    interval: Nanos,
+    span: Nanos,
+) -> (CampaignRun, PortId) {
+    let port = match port_index {
+        Some(i) => PortId(i as u16),
+        None => representative_port(&cfg),
+    };
+    let run = run_campaign(cfg, vec![CounterId::TxBytes(port)], interval, span);
+    (run, port)
+}
+
+/// Multi-port campaign: TX+RX byte counters for each requested port,
+/// aligned on the same poll timestamps.
+pub fn measure_port_groups(
+    cfg: ScenarioConfig,
+    ports: &[PortId],
+    interval: Nanos,
+    span: Nanos,
+) -> CampaignRun {
+    let mut counters = Vec::with_capacity(ports.len() * 2);
+    for &p in ports {
+        counters.push(CounterId::TxBytes(p));
+    }
+    for &p in ports {
+        counters.push(CounterId::RxBytes(p));
+    }
+    run_campaign(cfg, counters, interval, span)
+}
+
+/// All-port TX bytes plus the shared-buffer peak register — the Fig. 9 /
+/// Fig. 10 campaign.
+pub fn measure_buffer_and_ports(
+    cfg: ScenarioConfig,
+    interval: Nanos,
+    span: Nanos,
+) -> (CampaignRun, Vec<PortId>) {
+    let all_ports: Vec<PortId> = (0..(cfg.n_servers + cfg.clos.n_fabric))
+        .map(|i| PortId(i as u16))
+        .collect();
+    let mut counters: Vec<CounterId> =
+        all_ports.iter().map(|&p| CounterId::TxBytes(p)).collect();
+    counters.push(CounterId::BufferPeak);
+    let run = run_campaign(cfg, counters, interval, span);
+    (run, all_ports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_workloads::scenario::RackType;
+
+    #[test]
+    fn single_port_campaign_produces_util_series() {
+        let cfg = ScenarioConfig::new(RackType::Web, 42);
+        let bps = 10_000_000_000;
+        let (run, port) = measure_single_port(
+            cfg,
+            Some(3),
+            Nanos::from_micros(25),
+            Nanos::from_millis(30),
+        );
+        assert_eq!(port, PortId(3));
+        let util = run.utilization(CounterId::TxBytes(port), bps);
+        assert!(util.len() > 800, "only {} samples", util.len());
+        assert!(util.iter().all(|u| u.util >= 0.0));
+        // The poller missed ~1% of deadlines, not more.
+        assert!(run.poller_stats.deadline_miss_fraction() < 0.05);
+    }
+
+    #[test]
+    fn port_groups_are_aligned() {
+        let cfg = ScenarioConfig::new(RackType::Cache, 7);
+        let ports = [PortId(0), PortId(1)];
+        let run = measure_port_groups(
+            cfg,
+            &ports,
+            Nanos::from_micros(100),
+            Nanos::from_millis(20),
+        );
+        let a = run.series_for(CounterId::TxBytes(PortId(0)));
+        let b = run.series_for(CounterId::RxBytes(PortId(1)));
+        assert_eq!(a.ts, b.ts, "group campaign series share timestamps");
+    }
+
+    #[test]
+    fn buffer_campaign_includes_peak() {
+        let cfg = ScenarioConfig::new(RackType::Hadoop, 9);
+        let (run, ports) = measure_buffer_and_ports(
+            cfg,
+            Nanos::from_micros(300),
+            Nanos::from_millis(20),
+        );
+        assert_eq!(ports.len(), 24 + 4);
+        let peak = run.series_for(CounterId::BufferPeak);
+        assert!(!peak.is_empty());
+        // Hadoop must have put something in the buffer at some point.
+        assert!(peak.vs.iter().any(|&v| v > 0), "buffer never occupied");
+    }
+
+    #[test]
+    #[should_panic(expected = "not in campaign")]
+    fn missing_counter_panics() {
+        let cfg = ScenarioConfig::new(RackType::Web, 1);
+        let (run, _) = measure_single_port(
+            cfg,
+            Some(0),
+            Nanos::from_micros(100),
+            Nanos::from_millis(5),
+        );
+        run.series_for(CounterId::Drops(PortId(0)));
+    }
+}

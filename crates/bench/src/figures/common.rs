@@ -1,0 +1,116 @@
+//! Data collection shared by the figure harnesses.
+
+use uburst_asic::CounterId;
+use uburst_core::series::UtilSample;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+use crate::campaign::{measure_single_port, port_bps, representative_port};
+use crate::scale::Scale;
+
+/// One rack instance's single-port utilization samples.
+pub struct PortUtilRun {
+    /// Rack instance seed.
+    pub seed: u64,
+    /// Diurnal hour the campaign ran at.
+    pub hour: f64,
+    /// Per-interval utilization of the measured port.
+    pub utils: Vec<UtilSample>,
+}
+
+/// Runs the paper's highest-resolution methodology for one rack type:
+/// one representative port per rack instance, single byte counter at
+/// `interval`, across the scale's rack count and sampled hours.
+pub fn collect_single_port_utils(
+    scale: Scale,
+    rack_type: RackType,
+    interval: Nanos,
+) -> Vec<PortUtilRun> {
+    collect_single_port_utils_spanned(
+        scale.racks_per_type(),
+        &scale.hours(),
+        rack_type,
+        interval,
+        scale.campaign_span(),
+    )
+}
+
+/// [`collect_single_port_utils`] with every knob explicit (used by tests
+/// and ablations).
+pub fn collect_single_port_utils_spanned(
+    racks: usize,
+    hours: &[f64],
+    rack_type: RackType,
+    interval: Nanos,
+    span: Nanos,
+) -> Vec<PortUtilRun> {
+    let mut out = Vec::new();
+    for (i, &hour) in hours.iter().enumerate() {
+        for r in 0..racks {
+            let seed = 1000 * (i as u64 + 1) + r as u64;
+            let mut cfg = ScenarioConfig::new(rack_type, seed);
+            cfg.hour = hour;
+            let port = representative_port(&cfg);
+            let bps = port_bps(&cfg, port);
+            let (run, port) =
+                measure_single_port(cfg, Some(port.0 as usize), interval, span);
+            out.push(PortUtilRun {
+                seed,
+                hour,
+                utils: run.utilization(CounterId::TxBytes(port), bps),
+            });
+        }
+    }
+    out
+}
+
+/// Flattens burst durations (µs) across rack instances.
+pub fn all_burst_durations_us(runs: &[PortUtilRun], threshold: f64) -> Vec<f64> {
+    runs.iter()
+        .flat_map(|r| {
+            uburst_analysis::extract_bursts(&r.utils, threshold)
+                .durations()
+                .into_iter()
+                .map(|d| d.as_micros_f64())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Flattens inter-burst gaps (µs) across rack instances.
+pub fn all_gaps_us(runs: &[PortUtilRun], threshold: f64) -> Vec<f64> {
+    runs.iter()
+        .flat_map(|r| {
+            uburst_analysis::extract_bursts(&r.utils, threshold)
+                .gaps
+                .iter()
+                .map(|g| g.as_micros_f64())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_analysis::HOT_THRESHOLD;
+
+    #[test]
+    fn collects_runs_across_hours_and_racks() {
+        let runs = collect_single_port_utils_spanned(
+            2,
+            &[20.0],
+            RackType::Hadoop,
+            Nanos::from_micros(25),
+            Nanos::from_millis(30),
+        );
+        assert_eq!(runs.len(), 2);
+        for r in &runs {
+            assert!(r.utils.len() > 800, "run {} too short", r.seed);
+        }
+        let durations = all_burst_durations_us(&runs, HOT_THRESHOLD);
+        assert!(!durations.is_empty(), "hadoop must burst");
+        let gaps = all_gaps_us(&runs, HOT_THRESHOLD);
+        assert!(gaps.len() + runs.len() >= durations.len());
+    }
+}

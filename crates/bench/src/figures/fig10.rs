@@ -1,0 +1,175 @@
+//! Figure 10 — peak shared-buffer occupancy vs. number of hot ports.
+//!
+//! Paper's methodology (§6.4): peak buffer occupancy over 50 ms windows
+//! (from the read-and-clear register) against the number of ports that ran
+//! hot within the same window, hot classified at 300 µs. Findings: Hadoop
+//! stresses the buffer most, sometimes driving 100 % of its ports hot (Web
+//! and Cache max out at 71 % / 64 %); occupancy grows with hot-port count
+//! but levels off at high counts.
+
+use std::fmt::Write;
+
+use uburst_analysis::{grouped_summaries, HOT_THRESHOLD};
+use uburst_asic::CounterId;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+use crate::campaign::{measure_buffer_and_ports, port_bps};
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Runs the experiment and renders the report.
+pub fn run(scale: Scale) -> String {
+    let interval = Nanos::from_micros(300);
+    let window = Nanos::from_millis(match scale {
+        Scale::Quick => 10, // scaled-down 50ms windows so quick runs have enough of them
+        Scale::Full => 50,
+    });
+    let mut out = String::new();
+    writeln!(
+        out,
+        "Figure 10: peak shared-buffer occupancy vs hot ports per {window} window ({} scale)",
+        scale.label()
+    )
+    .unwrap();
+
+    let mut all_rows = String::new();
+    let mut max_share = Vec::new();
+    let mut level_off = Vec::new();
+    // Normalize occupancy to the max observed across all rack types, like
+    // the paper normalized to the max across its data sets.
+    let mut per_rack: Vec<(RackType, Vec<(usize, f64)>, usize)> = Vec::new();
+    let mut global_max = 0.0f64;
+
+    for rack_type in RackType::ALL {
+        let mut pairs: Vec<(usize, f64)> = Vec::new();
+        let mut n_ports_total = 0usize;
+        for r in 0..scale.racks_per_type() {
+            let cfg = ScenarioConfig::new(rack_type, 10_500 + r as u64);
+            let n_ports = cfg.n_servers + cfg.clos.n_fabric;
+            n_ports_total = n_ports;
+            let bps: Vec<u64> = (0..n_ports)
+                .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
+                .collect();
+            let (run, ports) =
+                measure_buffer_and_ports(cfg, interval, scale.campaign_span());
+
+            // Per-port hot flags per sampling period.
+            let port_utils: Vec<Vec<f64>> = ports
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| {
+                    run.utilization(CounterId::TxBytes(p), bps[i])
+                        .iter()
+                        .map(|u| u.util)
+                        .collect()
+                })
+                .collect();
+            let peaks = run.series_for(CounterId::BufferPeak);
+            let n_samples = port_utils[0].len();
+            let samples_per_window =
+                (window.as_nanos() / interval.as_nanos()) as usize;
+            let n_windows = n_samples / samples_per_window;
+            for w in 0..n_windows {
+                let lo = w * samples_per_window;
+                let hi = lo + samples_per_window;
+                // A port is hot in the window if any of its periods was hot.
+                let hot_ports = port_utils
+                    .iter()
+                    .filter(|u| u[lo..hi].iter().any(|&x| x > HOT_THRESHOLD))
+                    .count();
+                // Window peak = max of the read-and-clear register's reads.
+                // The peak series has one more sample than the rate series.
+                let peak = peaks.vs[lo + 1..=hi]
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0) as f64;
+                global_max = global_max.max(peak);
+                pairs.push((hot_ports, peak));
+            }
+        }
+        per_rack.push((rack_type, pairs, n_ports_total));
+    }
+
+    let mut table = Table::new(&["rack", "max_hot_ports", "port_share", "windows"]);
+    for (rack_type, pairs, n_ports) in &per_rack {
+        let normalized: Vec<(usize, f64)> = pairs
+            .iter()
+            .map(|&(k, v)| (k, v / global_max.max(1.0)))
+            .collect();
+        let groups = grouped_summaries(&normalized);
+        writeln!(
+            all_rows,
+            "\n{}: normalized peak occupancy by hot-port count:",
+            rack_type.name()
+        )
+        .unwrap();
+        writeln!(
+            all_rows,
+            "  {:>9}  {:>3}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}",
+            "hot_ports", "n", "min", "q1", "median", "q3", "max"
+        )
+        .unwrap();
+        for (k, s) in &groups {
+            writeln!(
+                all_rows,
+                "  {k:>9}  {:>3}  {:>6.3}  {:>6.3}  {:>6.3}  {:>6.3}  {:>6.3}",
+                s.n, s.min, s.q1, s.median, s.q3, s.max
+            )
+            .unwrap();
+        }
+        let max_hot = pairs.iter().map(|&(k, _)| k).max().unwrap_or(0);
+        let share = max_hot as f64 / *n_ports as f64;
+        max_share.push((*rack_type, share));
+        table.row(&[
+            rack_type.name().to_string(),
+            format!("{max_hot}"),
+            format!("{share:.2}"),
+            format!("{}", pairs.len()),
+        ]);
+        // Leveling off: median occupancy of the top-third hot-port groups
+        // grows less than proportionally.
+        if groups.len() >= 3 {
+            let lo_group = &groups[groups.len() / 3].1;
+            let hi_group = &groups[groups.len() - 1].1;
+            let k_lo = groups[groups.len() / 3].0.max(1);
+            let k_hi = groups[groups.len() - 1].0.max(1);
+            let occupancy_ratio = hi_group.median / lo_group.median.max(1e-9);
+            let count_ratio = k_hi as f64 / k_lo as f64;
+            level_off.push((*rack_type, occupancy_ratio, count_ratio));
+        }
+    }
+
+    writeln!(out, "{}", table.render()).unwrap();
+    out.push_str(&all_rows);
+    writeln!(out, "\npaper-shape checks:").unwrap();
+    let hadoop = max_share
+        .iter()
+        .find(|(rt, _)| *rt == RackType::Hadoop)
+        .map(|(_, s)| *s)
+        .unwrap_or(0.0);
+    writeln!(
+        out,
+        "  [{}] Hadoop drives the largest share of ports hot ({:.0}%; paper 100%)",
+        if max_share.iter().all(|(_, s)| hadoop >= *s) {
+            "ok"
+        } else {
+            "MISS"
+        },
+        hadoop * 100.0
+    )
+    .unwrap();
+    for (rt, occ_ratio, cnt_ratio) in &level_off {
+        writeln!(
+            out,
+            "  [{}] {}: occupancy grows sublinearly with hot ports (occupancy x{:.1} vs ports x{:.1})",
+            if occ_ratio < cnt_ratio { "ok" } else { "MISS" },
+            rt.name(),
+            occ_ratio,
+            cnt_ratio
+        )
+        .unwrap();
+    }
+    out
+}

@@ -1,0 +1,58 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every module exposes `run(scale) -> String`, returning the report the
+//! corresponding binary prints. `run_all_experiments` concatenates them.
+
+pub mod common;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod table01;
+pub mod table02;
+
+use crate::scale::Scale;
+
+/// `(id, title, runner)` for every experiment, in paper order.
+pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(Scale) -> String)> {
+    vec![
+        (
+            "fig01",
+            "Drop rate vs utilization at SNMP granularity",
+            fig01::run,
+        ),
+        ("fig02", "Drop time series on two ports", fig02::run),
+        (
+            "table01",
+            "Sampling interval vs miss rate",
+            table01::run,
+        ),
+        ("fig03", "CDF of uburst durations", fig03::run),
+        ("table02", "Burst Markov model", table02::run),
+        ("fig04", "CDF of inter-burst times", fig04::run),
+        (
+            "fig05",
+            "Packet sizes inside/outside bursts",
+            fig05::run,
+        ),
+        ("fig06", "CDF of link utilization", fig06::run),
+        ("fig07", "Uplink load balance (MAD)", fig07::run),
+        (
+            "fig08",
+            "Server-to-server correlation heatmaps",
+            fig08::run,
+        ),
+        ("fig09", "Directionality of bursts", fig09::run),
+        (
+            "fig10",
+            "Shared-buffer occupancy vs hot ports",
+            fig10::run,
+        ),
+    ]
+}

@@ -1,0 +1,30 @@
+//! # uburst-bench — experiment harnesses
+//!
+//! Shared machinery for the per-figure/table reproduction binaries (see
+//! `src/bin/`) and the Criterion benchmarks (see `benches/`). Each binary
+//! rebuilds one table or figure from the paper by running measured-rack
+//! scenarios, attaching the collection framework, and printing the same
+//! rows/series the paper reports.
+//!
+//! Set `EXP_SCALE=full` for longer campaigns (smoother distributions);
+//! the default `quick` scale keeps every harness under a couple of minutes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod figures;
+pub mod report;
+pub mod scale;
+
+pub use campaign::{
+    measure_buffer_and_ports, measure_port_groups, measure_single_port, port_bps,
+    representative_port, CampaignRun,
+};
+pub use report::{fmt_bytes, fmt_fraction, print_cdf_table, Table};
+pub use scale::Scale;
+
+/// Standard CDF evaluation points for burst-duration figures, microseconds.
+pub const DURATION_POINTS_US: [f64; 12] = [
+    25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1_000.0, 5_000.0, 20_000.0, 100_000.0,
+];

@@ -1,0 +1,127 @@
+//! Plain-text reporting helpers shared by the figure harnesses.
+
+use uburst_analysis::Ecdf;
+
+/// A simple fixed-width text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders and prints.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints an ECDF as `x  F(x)` rows at the given evaluation points, plus
+/// headline quantiles — the text equivalent of one CDF curve in a figure.
+pub fn print_cdf_table(name: &str, ecdf: &Ecdf, points: &[f64], unit: &str) {
+    println!("{name}  (n={})", ecdf.len());
+    let mut t = Table::new(&[&format!("x [{unit}]"), "F(x)"]);
+    for &(x, f) in &ecdf.curve(points) {
+        t.row(&[format!("{x:.0}"), format!("{f:.3}")]);
+    }
+    t.print();
+    println!(
+        "p50={:.1}{unit}  p90={:.1}{unit}  p99={:.1}{unit}  max={:.1}{unit}",
+        ecdf.quantile(0.5),
+        ecdf.quantile(0.9),
+        ecdf.quantile(0.99),
+        ecdf.max()
+    );
+}
+
+/// Human-readable byte count.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Percentage with one decimal.
+pub fn fmt_fraction(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "22".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with(" 1"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00GiB");
+        assert_eq!(fmt_fraction(0.123), "12.3%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

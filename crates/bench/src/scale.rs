@@ -1,0 +1,74 @@
+//! Experiment scale selection.
+
+use uburst_sim::time::Nanos;
+
+/// How much simulated time / how many rack instances each harness uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast runs for CI and iteration (default).
+    Quick,
+    /// Longer campaigns for smoother, publication-shaped distributions.
+    Full,
+}
+
+impl Scale {
+    /// Reads `EXP_SCALE` from the environment (`quick`/`full`), defaulting
+    /// to [`Scale::Quick`]. Unknown values fall back to quick with a note
+    /// on stderr.
+    pub fn from_env() -> Scale {
+        match std::env::var("EXP_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            Ok("quick") | Ok("QUICK") | Err(_) => Scale::Quick,
+            Ok(other) => {
+                eprintln!("EXP_SCALE={other:?} not recognized; using quick");
+                Scale::Quick
+            }
+        }
+    }
+
+    /// Measured-rack instances per rack type (the paper used 10).
+    pub fn racks_per_type(self) -> usize {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Campaign length per rack instance (the paper used 2-minute
+    /// intervals; distributions stabilize far sooner at these loads).
+    pub fn campaign_span(self) -> Nanos {
+        match self {
+            Scale::Quick => Nanos::from_millis(250),
+            Scale::Full => Nanos::from_millis(1_500),
+        }
+    }
+
+    /// Hours of the simulated day sampled (diurnal coverage).
+    pub fn hours(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![20.0],
+            Scale::Full => vec![2.0, 8.0, 14.0, 20.0],
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_outscales_quick() {
+        assert!(Scale::Full.racks_per_type() > Scale::Quick.racks_per_type());
+        assert!(Scale::Full.campaign_span() > Scale::Quick.campaign_span());
+        assert!(Scale::Full.hours().len() > Scale::Quick.hours().len());
+        assert_eq!(Scale::Quick.label(), "quick");
+    }
+}

@@ -1,0 +1,50 @@
+//! # uburst-core — the high-resolution counter collection framework
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (§4.1): a framework that polls switch ASIC counters at 10s–100s of
+//! microseconds with minimal impact on switch operation. It provides:
+//!
+//! * [`poller`] — the best-effort sampling loop, run on a modeled switch CPU
+//!   inside the simulation, paying real (simulated) time per counter read
+//!   and suffering kernel-jitter-induced missed intervals;
+//! * [`spec`] — measurement campaigns and the dedicated vs. shared core
+//!   timing model;
+//! * [`tuning`] — automated minimum-interval search at a target sampling
+//!   loss (the paper's manual Table 1 procedure);
+//! * [`batch`] / [`output`] — sample batching toward the collector;
+//! * [`collector`] / [`store`] — the (actually multithreaded) collector
+//!   service and its sample store, with CSV export;
+//! * [`series`] — timestamped cumulative-counter series and the
+//!   delta-to-rate/utilization conversions the analyses build on.
+//!
+//! ## End-to-end shape
+//!
+//! ```text
+//! Switch (uburst-sim) ──writes──► AsicCounters (uburst-asic)
+//!                                     ▲ reads (AccessModel cost)
+//!                               Poller (this crate, simulated CPU)
+//!                                     │ Batcher
+//!                                     ▼
+//!                      crossbeam channel ──► Collector threads ──► SampleStore
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod collector;
+pub mod output;
+pub mod poller;
+pub mod series;
+pub mod spec;
+pub mod store;
+pub mod tuning;
+
+pub use batch::{Batch, BatchPolicy, Batcher, SourceId};
+pub use collector::Collector;
+pub use output::{ChannelSink, MemorySink, SampleOutput};
+pub use poller::{Poller, PollerStats};
+pub use series::{RateSample, Series, UtilSample};
+pub use spec::{CampaignConfig, CoreMode};
+pub use store::{counter_label, parse_counter_label, SampleStore, SeriesKey};
+pub use tuning::{probe_loss_profile, probe_miss_fraction, tune_min_interval, TuningConfig, TuningResult};

@@ -1,0 +1,208 @@
+//! Where sampled values go.
+//!
+//! The poller is generic over a [`SampleOutput`]: analysis harnesses keep
+//! samples in memory ([`MemorySink`]); fleet deployments batch them onto a
+//! channel toward the collector service ([`ChannelSink`]).
+
+use std::any::Any;
+
+use crossbeam::channel::Sender;
+use uburst_asic::CounterId;
+use uburst_sim::time::Nanos;
+
+use crate::batch::{Batch, BatchPolicy, Batcher, SourceId};
+use crate::series::Series;
+
+/// Consumes one poll record at a time. Values are aligned with the
+/// campaign's counter list.
+pub trait SampleOutput: Any {
+    /// Records one poll's worth of counter values taken at `t`.
+    fn record(&mut self, t: Nanos, values: &[u64]);
+    /// Called once when the campaign ends; flush any buffers.
+    fn finish(&mut self) {}
+    /// Downcast support — implement as `self`.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support — implement as `self`.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Keeps everything in memory, one [`Series`] per campaign counter.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    series: Vec<Series>,
+    counters: Vec<CounterId>,
+}
+
+impl MemorySink {
+    /// A sink for a campaign polling `counters`.
+    pub fn new(counters: Vec<CounterId>) -> Self {
+        let series = counters.iter().map(|_| Series::new()).collect();
+        MemorySink { series, counters }
+    }
+
+    /// The series for a counter, if it was part of the campaign.
+    pub fn series(&self, counter: CounterId) -> Option<&Series> {
+        self.counters
+            .iter()
+            .position(|&c| c == counter)
+            .map(|i| &self.series[i])
+    }
+
+    /// The i-th counter's series (campaign order).
+    pub fn series_at(&self, i: usize) -> &Series {
+        &self.series[i]
+    }
+
+    /// Moves all series out (campaign order), consuming the sink's content.
+    pub fn take_all(&mut self) -> Vec<(CounterId, Series)> {
+        self.counters
+            .iter()
+            .copied()
+            .zip(self.series.iter_mut().map(std::mem::take))
+            .collect()
+    }
+
+    /// Counters this sink records, in campaign order.
+    pub fn counters(&self) -> &[CounterId] {
+        &self.counters
+    }
+}
+
+impl SampleOutput for MemorySink {
+    fn record(&mut self, t: Nanos, values: &[u64]) {
+        debug_assert_eq!(values.len(), self.series.len());
+        for (s, &v) in self.series.iter_mut().zip(values) {
+            s.push(t, v);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Batches samples and ships them over a channel to the collector service.
+///
+/// Sends block when the channel is full: backpressure from the collector
+/// slows the shipping path, never drops data (drops would silently bias the
+/// distributions under study).
+pub struct ChannelSink {
+    batcher: Batcher,
+    tx: Sender<Batch>,
+}
+
+impl ChannelSink {
+    /// A sink for `source`'s campaign, shipping into `tx`.
+    pub fn new(
+        source: SourceId,
+        campaign: impl Into<std::sync::Arc<str>>,
+        counters: Vec<CounterId>,
+        policy: BatchPolicy,
+        tx: Sender<Batch>,
+    ) -> Self {
+        ChannelSink {
+            batcher: Batcher::new(source, campaign, counters, policy),
+            tx,
+        }
+    }
+
+    fn ship(&self, batches: Vec<Batch>) {
+        for b in batches {
+            // A disconnected collector means shutdown raced the campaign;
+            // losing tail samples then is acceptable and must not panic the
+            // simulation.
+            let _ = self.tx.send(b);
+        }
+    }
+}
+
+impl SampleOutput for ChannelSink {
+    fn record(&mut self, t: Nanos, values: &[u64]) {
+        let out = self.batcher.record(t, values);
+        if !out.is_empty() {
+            self.ship(out);
+        }
+    }
+    fn finish(&mut self) {
+        let out = self.batcher.flush();
+        self.ship(out);
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_sim::node::PortId;
+
+    #[test]
+    fn memory_sink_routes_by_counter() {
+        let a = CounterId::TxBytes(PortId(0));
+        let b = CounterId::RxBytes(PortId(0));
+        let mut sink = MemorySink::new(vec![a, b]);
+        sink.record(Nanos(1), &[10, 20]);
+        sink.record(Nanos(2), &[11, 22]);
+        assert_eq!(sink.series(a).unwrap().vs, vec![10, 11]);
+        assert_eq!(sink.series(b).unwrap().vs, vec![20, 22]);
+        assert!(sink.series(CounterId::Drops(PortId(0))).is_none());
+        let all = sink.take_all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, a);
+        assert_eq!(all[0].1.len(), 2);
+        assert!(sink.series(a).unwrap().is_empty(), "taken out");
+    }
+
+    #[test]
+    fn channel_sink_ships_batches_and_tail() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let c = CounterId::TxBytes(PortId(3));
+        let mut sink = ChannelSink::new(
+            SourceId(9),
+            "camp",
+            vec![c],
+            BatchPolicy {
+                max_samples: 2,
+                max_age: Nanos::from_secs(100),
+            },
+            tx,
+        );
+        sink.record(Nanos(1), &[1]);
+        sink.record(Nanos(2), &[2]); // flush at 2 samples
+        sink.record(Nanos(3), &[3]);
+        sink.finish(); // tail flush
+        drop(sink);
+        let batches: Vec<Batch> = rx.iter().collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].samples.vs, vec![1, 2]);
+        assert_eq!(batches[1].samples.vs, vec![3]);
+        assert_eq!(batches[0].source, SourceId(9));
+        assert_eq!(batches[0].counter, c);
+        assert_eq!(&*batches[0].campaign, "camp");
+    }
+
+    #[test]
+    fn channel_sink_survives_disconnected_collector() {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        drop(rx);
+        let c = CounterId::TxBytes(PortId(0));
+        let mut sink = ChannelSink::new(
+            SourceId(0),
+            "camp",
+            vec![c],
+            BatchPolicy {
+                max_samples: 1,
+                max_age: Nanos::from_secs(100),
+            },
+            tx,
+        );
+        sink.record(Nanos(1), &[1]); // must not panic
+        sink.finish();
+    }
+}

@@ -1,0 +1,320 @@
+//! The sample store behind the collector service.
+//!
+//! Thread-safe, keyed by `(source, counter)`, stitched from batches in
+//! arrival order. Offers CSV export so campaign data can leave the process
+//! the way the paper's raw distributions left theirs (the published GitHub
+//! data dump).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use parking_lot::RwLock;
+use uburst_asic::CounterId;
+use uburst_sim::node::PortId;
+
+use crate::batch::{Batch, SourceId};
+use crate::series::Series;
+
+/// Identifies one stored series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// The switch the series came from.
+    pub source: SourceId,
+    /// The counter.
+    pub counter: CounterId,
+}
+
+/// Thread-safe store of collected series.
+#[derive(Debug, Default)]
+pub struct SampleStore {
+    inner: RwLock<HashMap<SeriesKey, Series>>,
+}
+
+impl SampleStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one batch. Batches of the same series may arrive out of
+    /// order when several collector workers share a source's stream; the
+    /// store merges them back into timestamp order.
+    pub fn ingest(&self, batch: &Batch) {
+        let key = SeriesKey {
+            source: batch.source,
+            counter: batch.counter,
+        };
+        let mut map = self.inner.write();
+        map.entry(key).or_default().merge_from(&batch.samples);
+    }
+
+    /// Snapshot of one series.
+    pub fn series(&self, source: SourceId, counter: CounterId) -> Option<Series> {
+        self.inner
+            .read()
+            .get(&SeriesKey { source, counter })
+            .cloned()
+    }
+
+    /// All keys currently stored, sorted for deterministic iteration.
+    pub fn keys(&self) -> Vec<SeriesKey> {
+        let mut keys: Vec<SeriesKey> = self.inner.read().keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Total samples across all series.
+    pub fn total_samples(&self) -> usize {
+        self.inner.read().values().map(Series::len).sum()
+    }
+
+    /// Writes every series as CSV rows:
+    /// `source,counter,timestamp_ns,value`.
+    pub fn export_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "source,counter,timestamp_ns,value")?;
+        let map = self.inner.read();
+        let mut keys: Vec<&SeriesKey> = map.keys().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let s = &map[key];
+            let cname = counter_label(key.counter);
+            for (&t, &v) in s.ts.iter().zip(&s.vs) {
+                writeln!(w, "{},{},{},{}", key.source.0, cname, t, v)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl SampleStore {
+    /// Reads a CSV previously produced by [`SampleStore::export_csv`] (the
+    /// same role as the paper's published raw-data dump): rows of
+    /// `source,counter,timestamp_ns,value`. Unknown counter labels are
+    /// rejected; rows may arrive in any order (they are merged sorted).
+    pub fn import_csv<R: BufRead>(r: R) -> io::Result<SampleStore> {
+        let store = SampleStore::new();
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+        if header.trim() != "source,counter,timestamp_ns,value" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected header: {header}"),
+            ));
+        }
+        let mut map = store.inner.write();
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad = |msg: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("row {}: {msg}: {line}", lineno + 2),
+                )
+            };
+            let mut parts = line.split(',');
+            let source = parts
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| bad("bad source"))?;
+            let counter = parts
+                .next()
+                .and_then(parse_counter_label)
+                .ok_or_else(|| bad("bad counter"))?;
+            let t = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad("bad timestamp"))?;
+            let v = parts
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| bad("bad value"))?;
+            let key = SeriesKey {
+                source: SourceId(source),
+                counter,
+            };
+            let mut single = Series::new();
+            single.push(uburst_sim::time::Nanos(t), v);
+            map.entry(key).or_default().merge_from(&single);
+        }
+        drop(map);
+        Ok(store)
+    }
+}
+
+/// Parses a [`counter_label`] back into a [`CounterId`].
+pub fn parse_counter_label(label: &str) -> Option<CounterId> {
+    let label = label.trim();
+    match label {
+        "buffer_level" => return Some(CounterId::BufferLevel),
+        "buffer_peak" => return Some(CounterId::BufferPeak),
+        _ => {}
+    }
+    let (name, args) = label.strip_suffix(']')?.split_once('[')?;
+    let mut nums = args.split(',');
+    let port = PortId(nums.next()?.trim().parse().ok()?);
+    match name {
+        "rx_bytes" => Some(CounterId::RxBytes(port)),
+        "rx_packets" => Some(CounterId::RxPackets(port)),
+        "tx_bytes" => Some(CounterId::TxBytes(port)),
+        "tx_packets" => Some(CounterId::TxPackets(port)),
+        "drops" => Some(CounterId::Drops(port)),
+        "rx_size_hist" => Some(CounterId::RxSizeHist(port, nums.next()?.trim().parse().ok()?)),
+        "tx_size_hist" => Some(CounterId::TxSizeHist(port, nums.next()?.trim().parse().ok()?)),
+        _ => None,
+    }
+}
+
+/// Stable text label for a counter (used in CSV export).
+pub fn counter_label(c: CounterId) -> String {
+    fn p(port: PortId) -> u16 {
+        port.0
+    }
+    match c {
+        CounterId::RxBytes(x) => format!("rx_bytes[{}]", p(x)),
+        CounterId::RxPackets(x) => format!("rx_packets[{}]", p(x)),
+        CounterId::TxBytes(x) => format!("tx_bytes[{}]", p(x)),
+        CounterId::TxPackets(x) => format!("tx_packets[{}]", p(x)),
+        CounterId::Drops(x) => format!("drops[{}]", p(x)),
+        CounterId::RxSizeHist(x, b) => format!("rx_size_hist[{},{}]", p(x), b),
+        CounterId::TxSizeHist(x, b) => format!("tx_size_hist[{},{}]", p(x), b),
+        CounterId::BufferLevel => "buffer_level".to_string(),
+        CounterId::BufferPeak => "buffer_peak".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_sim::time::Nanos;
+
+    fn batch(source: u32, counter: CounterId, pts: &[(u64, u64)]) -> Batch {
+        let mut s = Series::new();
+        for &(t, v) in pts {
+            s.push(Nanos(t), v);
+        }
+        Batch {
+            source: SourceId(source),
+            campaign: "test".into(),
+            counter,
+            samples: s,
+        }
+    }
+
+    #[test]
+    fn ingest_and_read_back() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(1));
+        store.ingest(&batch(0, c, &[(1, 10), (2, 20)]));
+        store.ingest(&batch(0, c, &[(3, 30)]));
+        let s = store.series(SourceId(0), c).unwrap();
+        assert_eq!(s.ts, vec![1, 2, 3]);
+        assert_eq!(s.vs, vec![10, 20, 30]);
+        assert_eq!(store.total_samples(), 3);
+    }
+
+    #[test]
+    fn sources_are_isolated() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(0));
+        store.ingest(&batch(0, c, &[(1, 1)]));
+        store.ingest(&batch(1, c, &[(1, 99)]));
+        assert_eq!(store.series(SourceId(0), c).unwrap().vs, vec![1]);
+        assert_eq!(store.series(SourceId(1), c).unwrap().vs, vec![99]);
+        assert_eq!(store.keys().len(), 2);
+    }
+
+    #[test]
+    fn missing_series_is_none() {
+        let store = SampleStore::new();
+        assert!(store
+            .series(SourceId(7), CounterId::BufferPeak)
+            .is_none());
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let store = SampleStore::new();
+        store.ingest(&batch(2, CounterId::Drops(PortId(3)), &[(100, 1)]));
+        let mut out = Vec::new();
+        store.export_csv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "source,counter,timestamp_ns,value");
+        assert_eq!(lines[1], "2,drops[3],100,1");
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let store = SampleStore::new();
+        store.ingest(&batch(3, CounterId::TxBytes(PortId(7)), &[(10, 1), (20, 5)]));
+        store.ingest(&batch(4, CounterId::BufferPeak, &[(15, 900)]));
+        let mut out = Vec::new();
+        store.export_csv(&mut out).unwrap();
+        let re = SampleStore::import_csv(std::io::Cursor::new(out)).unwrap();
+        assert_eq!(re.total_samples(), 3);
+        let s = re.series(SourceId(3), CounterId::TxBytes(PortId(7))).unwrap();
+        assert_eq!(s.ts, vec![10, 20]);
+        assert_eq!(s.vs, vec![1, 5]);
+        assert_eq!(
+            re.series(SourceId(4), CounterId::BufferPeak).unwrap().vs,
+            vec![900]
+        );
+    }
+
+    #[test]
+    fn label_parse_round_trips() {
+        for c in [
+            CounterId::RxBytes(PortId(0)),
+            CounterId::TxBytes(PortId(31)),
+            CounterId::RxPackets(PortId(5)),
+            CounterId::TxPackets(PortId(5)),
+            CounterId::Drops(PortId(9)),
+            CounterId::RxSizeHist(PortId(1), 6),
+            CounterId::TxSizeHist(PortId(2), 0),
+            CounterId::BufferLevel,
+            CounterId::BufferPeak,
+        ] {
+            assert_eq!(parse_counter_label(&counter_label(c)), Some(c), "{c:?}");
+        }
+        assert_eq!(parse_counter_label("nonsense"), None);
+        assert_eq!(parse_counter_label("tx_bytes[x]"), None);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        let bad = "wrong,header
+1,tx_bytes[0],5,5
+";
+        assert!(SampleStore::import_csv(std::io::Cursor::new(bad)).is_err());
+        let bad_row = "source,counter,timestamp_ns,value
+1,tx_bytes[0],NOPE,5
+";
+        assert!(SampleStore::import_csv(std::io::Cursor::new(bad_row)).is_err());
+    }
+
+    #[test]
+    fn counter_labels_are_distinct() {
+        let labels: Vec<String> = [
+            CounterId::RxBytes(PortId(0)),
+            CounterId::TxBytes(PortId(0)),
+            CounterId::RxPackets(PortId(0)),
+            CounterId::TxPackets(PortId(0)),
+            CounterId::Drops(PortId(0)),
+            CounterId::RxSizeHist(PortId(0), 1),
+            CounterId::TxSizeHist(PortId(0), 1),
+            CounterId::BufferLevel,
+            CounterId::BufferPeak,
+        ]
+        .into_iter()
+        .map(counter_label)
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

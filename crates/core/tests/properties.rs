@@ -1,0 +1,161 @@
+//! Property-based tests for the collection framework's data-handling
+//! invariants: nothing the poller records may be lost, reordered, or
+//! double-counted on its way to the store.
+
+use proptest::prelude::*;
+use uburst_core::batch::{BatchPolicy, Batcher, SourceId};
+use uburst_core::series::Series;
+use uburst_core::store::SampleStore;
+use uburst_asic::CounterId;
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+
+fn series_from(points: &[(u64, u64)]) -> Series {
+    let mut s = Series::new();
+    for &(t, v) in points {
+        s.push(Nanos(t), v);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn batcher_conserves_every_sample(
+        values in prop::collection::vec(any::<u64>(), 1..500),
+        max_samples in 1usize..64,
+        max_age_us in 1u64..10_000,
+    ) {
+        let mut b = Batcher::new(
+            SourceId(0),
+            "prop",
+            vec![CounterId::TxBytes(PortId(0))],
+            BatchPolicy {
+                max_samples,
+                max_age: Nanos::from_micros(max_age_us),
+            },
+        );
+        let mut collected: Vec<(u64, u64)> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let t = (i as u64 + 1) * 25_000;
+            for batch in b.record(Nanos(t), &[v]) {
+                for (bt, bv) in batch.samples.ts.iter().zip(&batch.samples.vs) {
+                    collected.push((*bt, *bv));
+                }
+            }
+        }
+        for batch in b.flush() {
+            for (bt, bv) in batch.samples.ts.iter().zip(&batch.samples.vs) {
+                collected.push((*bt, *bv));
+            }
+        }
+        // Exactly the recorded samples, in order.
+        prop_assert_eq!(collected.len(), values.len());
+        for (i, &(t, v)) in collected.iter().enumerate() {
+            prop_assert_eq!(t, (i as u64 + 1) * 25_000);
+            prop_assert_eq!(v, values[i]);
+        }
+    }
+
+    #[test]
+    fn series_merge_is_a_sorted_union(
+        a in prop::collection::vec(0u64..1_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        // Build two disjointly-timestamped series (distinct by construction:
+        // evens vs odds).
+        let pa: Vec<(u64, u64)> = {
+            let mut ts: Vec<u64> = a.iter().map(|&t| t * 2).collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts.into_iter().map(|t| (t + 2, t)).collect()
+        };
+        let pb: Vec<(u64, u64)> = {
+            let mut ts: Vec<u64> = b.iter().map(|&t| t * 2 + 1).collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts.into_iter().map(|t| (t + 2, t)).collect()
+        };
+        let mut merged = series_from(&pa);
+        merged.merge_from(&series_from(&pb));
+        prop_assert_eq!(merged.len(), pa.len() + pb.len());
+        prop_assert!(merged.ts.windows(2).all(|w| w[1] >= w[0]), "merge must sort");
+        // Every original pair survives.
+        for (t, v) in pa.iter().chain(&pb) {
+            let idx = merged.ts.iter().position(|x| x == t).expect("timestamp lost");
+            prop_assert_eq!(merged.vs[idx], *v);
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_total_delta(deltas in prop::collection::vec(0u64..1_000_000, 2..200)) {
+        let mut s = Series::new();
+        let mut total = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            total += d;
+            s.push(Nanos((i as u64 + 1) * 25_000), total);
+        }
+        let sum: u64 = s.rates().map(|r| r.delta).sum();
+        let expected: u64 = deltas[1..].iter().sum();
+        prop_assert_eq!(sum, expected);
+        for r in s.rates() {
+            prop_assert!(r.rate >= 0.0);
+            prop_assert!(r.t1 > r.t0);
+        }
+    }
+
+    #[test]
+    fn store_merges_batches_in_any_order(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u64>(), 1..20), 1..10),
+        shuffle_seed in any::<u64>(),
+    ) {
+        // Build consecutive batches, then ingest them in a shuffled order.
+        let mut batches = Vec::new();
+        let mut t = 0u64;
+        let mut all: Vec<(u64, u64)> = Vec::new();
+        for chunk in &chunks {
+            let mut s = Series::new();
+            for &v in chunk {
+                t += 25_000;
+                s.push(Nanos(t), v);
+                all.push((t, v));
+            }
+            batches.push(uburst_core::Batch {
+                source: SourceId(1),
+                campaign: "prop".into(),
+                counter: CounterId::TxBytes(PortId(0)),
+                samples: s,
+            });
+        }
+        let mut rng = uburst_sim::rng::Rng::new(shuffle_seed);
+        rng.shuffle(&mut batches);
+        let store = SampleStore::new();
+        for b in &batches {
+            store.ingest(b);
+        }
+        let got = store
+            .series(SourceId(1), CounterId::TxBytes(PortId(0)))
+            .expect("series exists");
+        prop_assert_eq!(got.len(), all.len());
+        prop_assert!(got.ts.windows(2).all(|w| w[1] > w[0]));
+        for (i, &(ts, v)) in all.iter().enumerate() {
+            prop_assert_eq!(got.ts[i], ts);
+            prop_assert_eq!(got.vs[i], v);
+        }
+    }
+
+    #[test]
+    fn utilization_is_rate_over_capacity(
+        deltas in prop::collection::vec(0u64..31_250, 2..100),
+    ) {
+        // Deltas below 31250 bytes per 25us stay below 10G line rate.
+        let mut s = Series::new();
+        let mut total = 0u64;
+        for (i, d) in deltas.iter().enumerate() {
+            total += d;
+            s.push(Nanos((i as u64 + 1) * 25_000), total);
+        }
+        for u in s.utilization(10_000_000_000) {
+            prop_assert!(u.util >= 0.0 && u.util <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The discrete-event calendar.
+//!
+//! A binary heap keyed on `(time, sequence)`. The sequence number makes
+//! ordering total and deterministic: two events scheduled for the same
+//! instant fire in the order they were scheduled, which keeps simulations
+//! bit-reproducible regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::{NodeId, PortId};
+use crate::packet::Packet;
+use crate::time::Nanos;
+
+/// Everything that can happen in the simulator.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes arriving at `node` on ingress `port`.
+    PacketArrive {
+        /// Receiving node.
+        node: NodeId,
+        /// Ingress port on the receiving node.
+        port: PortId,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// `node` finishes serializing a packet out of egress `port`.
+    TxComplete {
+        /// Transmitting node.
+        node: NodeId,
+        /// The egress port that became free.
+        port: PortId,
+    },
+    /// A timer set by `node` fires; `token` is the node's own cookie.
+    Timer {
+        /// The node that set the timer.
+        node: NodeId,
+        /// Opaque cookie chosen by the node.
+        token: u64,
+    },
+}
+
+/// A scheduled occurrence: a time plus what happens then.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: Nanos,
+    seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event is on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event set.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// An empty calendar.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(1024),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Adds an event firing at `time`.
+    pub fn schedule(&mut self, time: Nanos, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the next event if it fires at or before `until`.
+    pub fn pop_until(&mut self, until: Nanos) -> Option<Event> {
+        if self.heap.peek().is_some_and(|e| e.time <= until) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled; used by throughput benchmarks.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, token: u64) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            token,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), timer(0, 3));
+        q.schedule(Nanos(10), timer(0, 1));
+        q.schedule(Nanos(20), timer(0, 2));
+        let mut tokens = Vec::new();
+        while let Some(e) = q.pop_until(Nanos::MAX) {
+            if let EventKind::Timer { token, .. } = e.kind {
+                tokens.push(token);
+            }
+        }
+        assert_eq!(tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Nanos(5), timer(0, i));
+        }
+        let mut tokens = Vec::new();
+        while let Some(e) = q.pop_until(Nanos::MAX) {
+            if let EventKind::Timer { token, .. } = e.kind {
+                tokens.push(token);
+            }
+        }
+        assert_eq!(tokens, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), timer(0, 1));
+        q.schedule(Nanos(20), timer(0, 2));
+        assert!(q.pop_until(Nanos(5)).is_none());
+        assert!(q.pop_until(Nanos(10)).is_some());
+        assert!(q.pop_until(Nanos(15)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Nanos(20)));
+    }
+
+    #[test]
+    fn counts_scheduled() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos(1), timer(0, 0));
+        q.schedule(Nanos(2), timer(0, 0));
+        q.pop_until(Nanos::MAX);
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Diurnal load modulation.
+//!
+//! The paper's 24-hour campaigns capture diurnal patterns (§4.2: "Diurnal
+//! patterns are therefore captured within our data set"). Interactive
+//! traffic (Web, Cache) follows the user day; Hadoop is batch and runs
+//! closer to flat (schedulers backfill at night).
+
+use std::f64::consts::TAU;
+
+/// Interactive-traffic multiplier for an hour of day in `[0, 24)`:
+/// a smooth curve with its trough (~0.5) around 02:00 and its peak (1.0)
+/// around 20:00 local time.
+pub fn interactive_factor(hour: f64) -> f64 {
+    let h = hour.rem_euclid(24.0);
+    0.75 + 0.25 * (TAU * (h - 14.0) / 24.0).sin()
+}
+
+/// Batch-traffic multiplier: mild inverse of the interactive curve (offline
+/// work soaks up off-peak capacity), never below 0.85.
+pub fn batch_factor(hour: f64) -> f64 {
+    let h = hour.rem_euclid(24.0);
+    0.925 - 0.075 * (TAU * (h - 14.0) / 24.0).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactive_peaks_in_evening() {
+        assert!((interactive_factor(20.0) - 1.0).abs() < 1e-9);
+        assert!((interactive_factor(8.0) - 0.5).abs() < 1e-9);
+        let noon = interactive_factor(12.0);
+        assert!(noon > 0.5 && noon < 1.0);
+    }
+
+    #[test]
+    fn wraps_around_midnight() {
+        assert!((interactive_factor(25.0) - interactive_factor(1.0)).abs() < 1e-12);
+        assert!((interactive_factor(-1.0) - interactive_factor(23.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_is_flatter_and_counter_cyclical() {
+        let spread_batch = batch_factor(20.0) - batch_factor(8.0);
+        assert!(spread_batch < 0.0, "batch dips at the interactive peak");
+        assert!(batch_factor(8.0) <= 1.0);
+        for h in 0..24 {
+            let b = batch_factor(h as f64);
+            assert!((0.85..=1.0).contains(&b), "batch factor {b} at {h}h");
+            let i = interactive_factor(h as f64);
+            assert!((0.5..=1.0).contains(&i), "interactive factor {i} at {h}h");
+        }
+    }
+}

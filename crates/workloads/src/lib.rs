@@ -1,0 +1,31 @@
+//! # uburst-workloads — Web / Cache / Hadoop rack traffic models
+//!
+//! Generative models of the three application classes the paper measured
+//! (§4.2), built on `uburst-sim`'s hosts and transport:
+//!
+//! * [`web`] — stateless, user-driven page assembly with cache fan-in:
+//!   low utilization, uncorrelated servers, short downlink bursts;
+//! * [`cache`] + [`responder`] — scatter-gather reads with leader/follower
+//!   structure: correlated server pods, large responses, uplink bursts;
+//! * [`hadoop`] — wave-structured bulk shuffle: high utilization, full-MTU
+//!   packets, the longest bursts, reducer fan-in;
+//! * [`diurnal`] — hour-of-day load modulation;
+//! * [`scenario`] — the canonical measured-rack setups every figure
+//!   harness uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod diurnal;
+pub mod hadoop;
+pub mod host;
+pub mod responder;
+pub mod scenario;
+pub mod tags;
+pub mod web;
+
+pub use host::{App, AppHost, Env, IdleApp, Incoming, TOKEN_APP_START};
+pub use scenario::{
+    build_scenario, CacheParams, HadoopParams, RackType, Scenario, ScenarioConfig, WebParams,
+};

@@ -1,0 +1,77 @@
+//! Burst survey: the paper's Figure 3 / Table 2 methodology across all
+//! three rack types, side by side — a compact version of the full
+//! `fig03_burst_duration` harness.
+//!
+//! Run with `cargo run --release --example burst_survey`.
+
+use uburst::prelude::*;
+
+/// Measures the representative port of one rack type at 25 µs.
+fn survey(rack_type: RackType, seed: u64) -> (f64, f64, f64, f64, f64) {
+    let mut cfg = ScenarioConfig::new(rack_type, seed);
+    cfg.hour = 20.0; // evening peak
+    // Cache bursts live on the uplinks; Web/Hadoop burst toward servers.
+    let port = match rack_type {
+        RackType::Cache => PortId(cfg.n_servers as u16),
+        _ => PortId(2),
+    };
+    let bps = if (port.0 as usize) < cfg.n_servers {
+        cfg.clos.server_link.bandwidth_bps
+    } else {
+        cfg.clos.uplink.bandwidth_bps
+    };
+
+    let mut s = build_scenario(cfg);
+    let warmup = s.recommended_warmup();
+    s.sim.run_until(warmup);
+    let campaign =
+        CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed);
+    let stop = warmup + Nanos::from_millis(250);
+    let id = poller.spawn(&mut s.sim, warmup, stop);
+    s.sim.run_until(stop + Nanos::from_millis(1));
+
+    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    let utils = series.utilization(bps);
+    let analysis = extract_bursts(&utils, HOT_THRESHOLD);
+    let chain = hot_chain(&utils, HOT_THRESHOLD);
+    let m = fit_transition_matrix(&chain);
+    let mean_util: f64 = utils.iter().map(|u| u.util).sum::<f64>() / utils.len() as f64;
+    let (p50, p90) = if analysis.bursts.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let e = Ecdf::new(
+            analysis
+                .durations()
+                .iter()
+                .map(|d| d.as_micros_f64())
+                .collect(),
+        );
+        (e.quantile(0.5), e.quantile(0.9))
+    };
+    (mean_util, analysis.hot_fraction(), p50, p90, m.likelihood_ratio())
+}
+
+fn main() {
+    println!("burst survey at 25us granularity (one representative port per rack)");
+    println!(
+        "{:>8}  {:>6}  {:>6}  {:>7}  {:>7}  {:>8}",
+        "rack", "util%", "hot%", "p50[us]", "p90[us]", "markov_r"
+    );
+    for rack_type in RackType::ALL {
+        let (util, hot, p50, p90, r) = survey(rack_type, 1234);
+        println!(
+            "{:>8}  {:>6.1}  {:>6.1}  {:>7.0}  {:>7.0}  {:>8.1}",
+            rack_type.name(),
+            util * 100.0,
+            hot * 100.0,
+            p50,
+            p90,
+            r
+        );
+    }
+    println!();
+    println!("paper (Fig 3 / Table 2): Web bursts are shortest (p90 = 50us) and the");
+    println!("most clustered (r = 119.7); Hadoop bursts are longest (but < 0.5ms)");
+    println!("and closest to memoryless (r = 15.6); Cache sits between.");
+}

@@ -1,0 +1,91 @@
+//! Quickstart: measure one port of a Hadoop rack at 25 µs and report its
+//! microbursts — the paper's core loop in ~60 lines.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use uburst::prelude::*;
+
+fn main() {
+    // A rack of Hadoop servers behind a ToR in a Clos fabric, built
+    // deterministically from a seed.
+    let seed = 42;
+    let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, seed));
+    println!(
+        "built a {} rack: {} servers, {} uplinks, seed {seed}",
+        s.cfg.rack_type.name(),
+        s.cfg.n_servers,
+        s.uplink_ports().len(),
+    );
+
+    // Let slow-started flows reach steady state before measuring.
+    let warmup = s.recommended_warmup();
+    s.sim.run_until(warmup);
+
+    // Attach the collection framework: a single byte counter polled every
+    // 25us from the switch CPU (the paper's highest-resolution campaign).
+    let port = s.host_ports()[3];
+    let span = Nanos::from_millis(200);
+    let campaign =
+        CampaignConfig::single("tx-bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 7);
+    let stop = warmup + span;
+    let poller_id = poller.spawn(&mut s.sim, warmup, stop);
+    s.sim.run_until(stop + Nanos::from_millis(1));
+
+    // Pull the samples out and do the paper's analysis.
+    let stats = s.sim.node_mut::<Poller>(poller_id).stats();
+    let series = &s.sim.node_mut::<Poller>(poller_id).take_series()[0].1;
+    let utils = series.utilization(s.server_link_bps());
+    let bursts = extract_bursts(&utils, HOT_THRESHOLD);
+
+    println!(
+        "campaign: {} samples over {span}, {:.2}% deadlines missed",
+        stats.polls,
+        stats.deadline_miss_fraction() * 100.0
+    );
+    let mean_util: f64 = utils.iter().map(|u| u.util).sum::<f64>() / utils.len() as f64;
+    println!(
+        "port {}: mean utilization {:.1}%, hot {:.1}% of periods, {} bursts",
+        port.0,
+        mean_util * 100.0,
+        bursts.hot_fraction() * 100.0,
+        bursts.bursts.len()
+    );
+
+    if !bursts.bursts.is_empty() {
+        let durations: Vec<f64> = bursts
+            .durations()
+            .iter()
+            .map(|d| d.as_micros_f64())
+            .collect();
+        let ecdf = Ecdf::new(durations);
+        println!(
+            "burst durations: p50 {:.0}us  p90 {:.0}us  max {:.0}us",
+            ecdf.quantile(0.5),
+            ecdf.quantile(0.9),
+            ecdf.max()
+        );
+        let longest = bursts
+            .bursts
+            .iter()
+            .max_by_key(|b| b.duration())
+            .expect("non-empty");
+        println!(
+            "longest burst: {} spanning {} samples starting at {}",
+            longest.duration(),
+            longest.samples,
+            longest.start
+        );
+    }
+
+    // The Markov view (Table 2): how much more likely is a hot period
+    // right after another hot period?
+    let chain = hot_chain(&utils, HOT_THRESHOLD);
+    let m = fit_transition_matrix(&chain);
+    println!(
+        "burst Markov model: p(1|0) = {:.4}, p(1|1) = {:.3}, likelihood ratio r = {:.1}",
+        m.p01,
+        m.p11,
+        m.likelihood_ratio()
+    );
+}

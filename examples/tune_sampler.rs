@@ -1,0 +1,89 @@
+//! Interval auto-tuning: the paper's Table 1 procedure, automated.
+//!
+//! "For the counters we measure, we manually determine the minimum sampling
+//! interval possible while maintaining ~1% sampling loss" (§4.1). This
+//! example probes the loss curve for three counter classes and then lets
+//! the auto-tuner find each one's minimum interval — including the shared
+//! dedicated-core vs. low-CPU shared-core tradeoff.
+//!
+//! Run with `cargo run --release --example tune_sampler`.
+
+use uburst::prelude::*;
+use uburst::telemetry::probe_loss_profile;
+
+fn main() {
+    let access = AccessModel::default();
+    let duration = Nanos::from_millis(300);
+
+    println!("loss curve for a single byte counter (dedicated core):");
+    println!("{:>10}  {:>15}  {:>12}", "interval", "empty_intervals", "late_samples");
+    for us in [1u64, 2, 5, 10, 15, 25, 50] {
+        let (miss, late) = probe_loss_profile(
+            &[CounterId::TxBytes(PortId(0))],
+            access,
+            Nanos::from_micros(us),
+            duration,
+            CoreMode::Dedicated,
+            us,
+        );
+        println!(
+            "{:>9}us  {:>14.1}%  {:>11.1}%",
+            us,
+            miss * 100.0,
+            late * 100.0
+        );
+    }
+
+    println!("\nauto-tuned minimum intervals at 1% target loss:");
+    let tuning = TuningConfig {
+        probe_duration: duration,
+        ..TuningConfig::default()
+    };
+    let classes: Vec<(&str, Vec<CounterId>, Nanos)> = vec![
+        (
+            "byte counter (register)",
+            vec![CounterId::TxBytes(PortId(0))],
+            Nanos::from_micros(200),
+        ),
+        (
+            "size-histogram bin (memory)",
+            vec![CounterId::TxSizeHist(PortId(0), 0)],
+            Nanos::from_micros(200),
+        ),
+        (
+            "buffer peak (wide memory)",
+            vec![CounterId::BufferPeak],
+            Nanos::from_micros(400),
+        ),
+        (
+            "4 byte counters in one campaign",
+            (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect(),
+            Nanos::from_micros(200),
+        ),
+    ];
+    for (name, counters, max) in classes {
+        let cfg = TuningConfig {
+            max_interval: max,
+            ..tuning
+        };
+        let r = tune_min_interval(&counters, access, &cfg);
+        println!(
+            "  {name:<32} -> {} ({} probes)",
+            r.min_interval,
+            r.probes.len()
+        );
+    }
+
+    println!("\nshared-core mode trades precision for CPU (paper: <=20% utilization):");
+    for mode in [CoreMode::Dedicated, CoreMode::Shared] {
+        let (miss, _) = probe_loss_profile(
+            &[CounterId::TxBytes(PortId(0))],
+            access,
+            Nanos::from_micros(25),
+            duration,
+            mode,
+            99,
+        );
+        println!("  {mode:?}: miss fraction at 25us = {:.1}%", miss * 100.0);
+    }
+}

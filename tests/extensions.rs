@@ -1,0 +1,135 @@
+//! Integration tests for the extension mechanisms (flowlet ECMP, ECN/DCTCP,
+//! fabric instrumentation, FCT records) wired through full scenarios.
+
+use uburst::prelude::*;
+use uburst::sim::routing::EcmpMode;
+use uburst::sim::switch::Switch;
+use uburst::workloads::host::AppHost;
+
+fn run_rack(mut cfg: ScenarioConfig, millis: u64) -> Scenario {
+    cfg.seed ^= 0xE47;
+    let mut s = build_scenario(cfg);
+    s.sim.run_until(Nanos::from_millis(millis));
+    s
+}
+
+#[test]
+fn flowlet_mode_routes_all_traffic() {
+    let mut cfg = ScenarioConfig::new(RackType::Hadoop, 91);
+    cfg.clos.ecmp_mode = EcmpMode::Flowlet {
+        gap: Nanos::from_micros(100),
+    };
+    let s = run_rack(cfg, 80);
+    let stats = s.sim.node::<Switch>(s.tor()).stats();
+    assert_eq!(stats.unroutable, 0);
+    assert!(stats.tx_packets > 10_000, "traffic flowed: {stats:?}");
+    // All four uplinks carried something.
+    for &p in s.uplink_ports() {
+        assert!(
+            s.counters.read(CounterId::TxBytes(p)) > 0,
+            "uplink {p:?} unused under flowlets"
+        );
+    }
+}
+
+#[test]
+fn ecn_scenario_reduces_drops_at_same_load() {
+    let drops_with = |ecn: bool| {
+        let mut cfg = ScenarioConfig::new(RackType::Hadoop, 92);
+        cfg.load = 2.0;
+        if ecn {
+            cfg.clos.tor_switch.ecn_threshold = Some(40 << 10);
+            cfg.transport.ecn = true;
+        }
+        let s = run_rack(cfg, 120);
+        s.sim.node::<Switch>(s.tor()).stats().dropped_packets
+    };
+    let plain = drops_with(false);
+    let ecn = drops_with(true);
+    assert!(plain > 50, "baseline must drop under load 2.0 (got {plain})");
+    assert!(
+        ecn * 2 < plain,
+        "ECN should at least halve drops: {ecn} vs {plain}"
+    );
+}
+
+#[test]
+fn fabric_instrumentation_counts_real_traffic() {
+    let mut cfg = ScenarioConfig::new(RackType::Cache, 93);
+    cfg.instrument_fabric = true;
+    let s = run_rack(cfg, 80);
+    assert_eq!(s.fabric_counters.len(), 4);
+    // Cache responses leave via the uplinks, so every fabric switch's
+    // rack-facing port saw traffic in both directions.
+    let mut total_rx = 0;
+    for fc in &s.fabric_counters {
+        total_rx += fc.read(CounterId::RxBytes(PortId(0)));
+    }
+    assert!(total_rx > 1_000_000, "fabric rx {total_rx}");
+    // Fabric counters are consistent with the fabric switches' own stats.
+    let fabric_stats_rx: u64 = s
+        .handles
+        .fabrics
+        .iter()
+        .map(|&f| s.sim.node::<Switch>(f).stats().rx_bytes)
+        .sum();
+    let fabric_counter_rx: u64 = s
+        .fabric_counters
+        .iter()
+        .map(|fc| {
+            fc.read(CounterId::RxBytes(PortId(0))) + fc.read(CounterId::RxBytes(PortId(1)))
+        })
+        .sum();
+    assert_eq!(fabric_stats_rx, fabric_counter_rx);
+}
+
+#[test]
+fn uninstrumented_scenarios_have_no_fabric_counters() {
+    let s = run_rack(ScenarioConfig::new(RackType::Web, 94), 40);
+    assert!(s.fabric_counters.is_empty());
+}
+
+#[test]
+fn fct_records_flow_through_scenarios() {
+    let s = run_rack(ScenarioConfig::new(RackType::Cache, 95), 100);
+    let mut total = 0usize;
+    for &h in &s.rack_hosts {
+        for r in s.sim.node::<AppHost>(h).fcts() {
+            assert!(r.fct > Nanos::ZERO);
+            assert!(r.fct < Nanos::from_millis(100));
+            total += 1;
+        }
+    }
+    assert!(total > 500, "cache servers completed {total} response flows");
+}
+
+#[test]
+fn pacing_reduces_hot_fraction_end_to_end() {
+    let hot_with = |pace: Option<u64>| {
+        let mut cfg = ScenarioConfig::new(RackType::Cache, 96);
+        cfg.nic_pace_bps = pace;
+        let uplink = PortId(cfg.n_servers as u16);
+        let bps = cfg.clos.uplink.bandwidth_bps;
+        let mut s = build_scenario(cfg);
+        let warmup = s.recommended_warmup();
+        s.sim.run_until(warmup);
+        let campaign = CampaignConfig::single(
+            "bytes",
+            CounterId::TxBytes(uplink),
+            Nanos::from_micros(25),
+        );
+        let poller =
+            Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 5);
+        let stop = warmup + Nanos::from_millis(120);
+        let id = poller.spawn(&mut s.sim, warmup, stop);
+        s.sim.run_until(stop + Nanos::from_millis(1));
+        let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+        extract_bursts(&series.utilization(bps), HOT_THRESHOLD).hot_fraction()
+    };
+    let unpaced = hot_with(None);
+    let paced = hot_with(Some(2_500_000_000));
+    assert!(
+        paced < unpaced,
+        "2.5G pacing should reduce uplink hot fraction: {paced} vs {unpaced}"
+    );
+}

@@ -1,0 +1,127 @@
+//! Regression tests for the paper's headline shapes at reduced scale —
+//! cheap enough for CI, strong enough to catch a workload or framework
+//! change that breaks the reproduction.
+
+use uburst::prelude::*;
+
+/// 25 µs single-port campaign for one rack type; returns utilization.
+fn port_utils(rack_type: RackType, seed: u64, uplink: bool) -> Vec<UtilSample> {
+    let cfg = ScenarioConfig::new(rack_type, seed);
+    let port = if uplink {
+        PortId(cfg.n_servers as u16)
+    } else {
+        PortId(4)
+    };
+    let bps = if uplink {
+        cfg.clos.uplink.bandwidth_bps
+    } else {
+        cfg.clos.server_link.bandwidth_bps
+    };
+    let mut s = build_scenario(cfg);
+    let warmup = s.recommended_warmup();
+    s.sim.run_until(warmup);
+    let campaign =
+        CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed);
+    let stop = warmup + Nanos::from_millis(150);
+    let id = poller.spawn(&mut s.sim, warmup, stop);
+    s.sim.run_until(stop + Nanos::from_millis(1));
+    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    series.utilization(bps)
+}
+
+#[test]
+fn web_bursts_are_short_and_rare() {
+    let utils = port_utils(RackType::Web, 61, false);
+    let a = extract_bursts(&utils, HOT_THRESHOLD);
+    assert!(
+        a.hot_fraction() < 0.06,
+        "web hot fraction {}",
+        a.hot_fraction()
+    );
+    let durations: Vec<f64> = a.durations().iter().map(|d| d.as_micros_f64()).collect();
+    if durations.len() >= 20 {
+        let e = Ecdf::new(durations);
+        assert!(e.quantile(0.9) <= 250.0, "web p90 {}us", e.quantile(0.9));
+    }
+}
+
+#[test]
+fn hadoop_bursts_dominate_but_stay_sub_millisecond() {
+    let utils = port_utils(RackType::Hadoop, 62, false);
+    let a = extract_bursts(&utils, HOT_THRESHOLD);
+    assert!(
+        a.hot_fraction() > 0.05,
+        "hadoop hot fraction {}",
+        a.hot_fraction()
+    );
+    let durations: Vec<f64> = a.durations().iter().map(|d| d.as_micros_f64()).collect();
+    let e = Ecdf::new(durations);
+    assert!(
+        e.quantile(0.9) <= 600.0,
+        "hadoop p90 {}us too long",
+        e.quantile(0.9)
+    );
+    assert!(
+        e.fraction_at_or_below(1_000.0) > 0.95,
+        "hadoop bursts should almost all end within 1ms"
+    );
+}
+
+#[test]
+fn markov_ratios_are_ordered_like_the_paper() {
+    // Pool two racks per type for stability.
+    let r_of = |rack_type: RackType| {
+        let mut n01 = 0.0;
+        let mut n0 = 0.0;
+        let mut n11 = 0.0;
+        let mut n1 = 0.0;
+        for seed in [63, 64] {
+            let uplink = rack_type == RackType::Cache;
+            let utils = port_utils(rack_type, seed, uplink);
+            let chain = hot_chain(&utils, HOT_THRESHOLD);
+            let m = fit_transition_matrix(&chain);
+            n01 += m.p01 * m.from0 as f64;
+            n0 += m.from0 as f64;
+            if m.from1 > 0 {
+                n11 += m.p11 * m.from1 as f64;
+                n1 += m.from1 as f64;
+            }
+        }
+        (n11 / n1) / (n01 / n0)
+    };
+    let web = r_of(RackType::Web);
+    let cache = r_of(RackType::Cache);
+    let hadoop = r_of(RackType::Hadoop);
+    assert!(
+        web > cache && cache > hadoop,
+        "ordering broken: web {web:.1}, cache {cache:.1}, hadoop {hadoop:.1}"
+    );
+    assert!(hadoop > 3.0, "even hadoop is far from memoryless");
+}
+
+#[test]
+fn cache_bursts_live_on_uplinks() {
+    let up = port_utils(RackType::Cache, 65, true);
+    let dn = port_utils(RackType::Cache, 65, false);
+    let hot_up = extract_bursts(&up, HOT_THRESHOLD).hot_fraction();
+    let hot_dn = extract_bursts(&dn, HOT_THRESHOLD).hot_fraction();
+    assert!(
+        hot_up > 10.0 * hot_dn.max(1e-6),
+        "cache uplink hot {hot_up} should dwarf downlink {hot_dn}"
+    );
+}
+
+#[test]
+fn interburst_gaps_are_not_poisson() {
+    let utils = port_utils(RackType::Cache, 66, true);
+    let a = extract_bursts(&utils, HOT_THRESHOLD);
+    let gaps: Vec<f64> = a.gaps.iter().map(|g| g.as_micros_f64()).collect();
+    assert!(gaps.len() > 50, "need gaps to test ({} found)", gaps.len());
+    let ks = ks_test_exponential(&gaps);
+    assert!(
+        ks.p_value < 0.01,
+        "gaps looked exponential (p = {})",
+        ks.p_value
+    );
+}
