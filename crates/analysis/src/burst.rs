@@ -129,12 +129,7 @@ pub fn hot_port_counts(port_series: &[Vec<UtilSample>], threshold: f64) -> Vec<u
         "unaligned port series"
     );
     (0..n)
-        .map(|i| {
-            port_series
-                .iter()
-                .filter(|s| s[i].util > threshold)
-                .count()
-        })
+        .map(|i| port_series.iter().filter(|s| s[i].util > threshold).count())
         .collect()
 }
 

@@ -116,10 +116,10 @@ mod tests {
             vec![1.0, 1.0, 2.0, 2.0],
         ];
         let m = correlation_matrix(&s);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
         assert!((m[0][1] + 1.0).abs() < 1e-12);

@@ -1,131 +1,167 @@
-//! Property-based tests for the analysis library's invariants.
+//! Property-style tests for the analysis library's invariants, driven by
+//! a seeded `Rng` — deterministic across runs, no external dependencies.
 
-use proptest::prelude::*;
 use uburst_analysis::*;
 use uburst_core::{Series, UtilSample};
+use uburst_sim::rng::Rng;
 use uburst_sim::time::Nanos;
 
-fn util_series_strategy() -> impl Strategy<Value = Vec<UtilSample>> {
-    prop::collection::vec(0.0f64..1.2, 1..500).prop_map(|utils| {
-        let dt = Nanos::from_micros(25);
-        utils
-            .into_iter()
-            .enumerate()
-            .map(|(i, util)| UtilSample {
-                t: dt * (i as u64 + 1),
-                dt,
-                util,
-            })
-            .collect()
-    })
+const CASES: u64 = 48;
+
+fn random_utils(rng: &mut Rng, max_len: u64) -> Vec<UtilSample> {
+    let n = rng.range(1, max_len) as usize;
+    let dt = Nanos::from_micros(25);
+    (0..n)
+        .map(|i| UtilSample {
+            t: dt * (i as u64 + 1),
+            dt,
+            util: rng.range_f64(0.0, 1.2),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn burst_extraction_invariants(samples in util_series_strategy(), thr in 0.1f64..0.9) {
+#[test]
+fn burst_extraction_invariants() {
+    let mut rng = Rng::new(0xa4_a1_01);
+    for _ in 0..CASES {
+        let samples = random_utils(&mut rng, 500);
+        let thr = rng.range_f64(0.1, 0.9);
         let a = extract_bursts(&samples, thr);
         // Hot-sample accounting is exact.
         let hot_direct = samples.iter().filter(|s| s.util > thr).count();
-        prop_assert_eq!(a.hot_samples, hot_direct);
-        prop_assert_eq!(a.total_samples, samples.len());
+        assert_eq!(a.hot_samples, hot_direct);
+        assert_eq!(a.total_samples, samples.len());
         let in_bursts: usize = a.bursts.iter().map(|b| b.samples).sum();
-        prop_assert_eq!(in_bursts, hot_direct);
+        assert_eq!(in_bursts, hot_direct);
         // Structure: gaps fit between bursts; everything is ordered and positive.
-        prop_assert_eq!(a.gaps.len(), a.bursts.len().saturating_sub(1));
+        assert_eq!(a.gaps.len(), a.bursts.len().saturating_sub(1));
         for b in &a.bursts {
-            prop_assert!(b.end > b.start);
-            prop_assert!(b.samples >= 1);
+            assert!(b.end > b.start);
+            assert!(b.samples >= 1);
         }
         for w in a.bursts.windows(2) {
-            prop_assert!(w[1].start >= w[0].end);
+            assert!(w[1].start >= w[0].end);
         }
         // Hot fraction is a fraction.
-        prop_assert!((0.0..=1.0).contains(&a.hot_fraction()));
+        assert!((0.0..=1.0).contains(&a.hot_fraction()));
     }
+}
 
-    #[test]
-    fn hot_chain_matches_extraction(samples in util_series_strategy(), thr in 0.1f64..0.9) {
+#[test]
+fn hot_chain_matches_extraction() {
+    let mut rng = Rng::new(0xa4_a1_02);
+    for _ in 0..CASES {
+        let samples = random_utils(&mut rng, 500);
+        let thr = rng.range_f64(0.1, 0.9);
         let chain = hot_chain(&samples, thr);
-        prop_assert_eq!(chain.len(), samples.len());
+        assert_eq!(chain.len(), samples.len());
         let hot = chain.iter().filter(|&&h| h).count();
-        prop_assert_eq!(hot, extract_bursts(&samples, thr).hot_samples);
+        assert_eq!(hot, extract_bursts(&samples, thr).hot_samples);
     }
+}
 
-    #[test]
-    fn markov_probabilities_are_probabilities(chain in prop::collection::vec(any::<bool>(), 2..400)) {
+#[test]
+fn markov_probabilities_are_probabilities() {
+    let mut rng = Rng::new(0xa4_a1_03);
+    for _ in 0..CASES {
+        let n = rng.range(2, 400) as usize;
+        let chain: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let m = fit_transition_matrix(&chain);
         if m.from0 > 0 {
-            prop_assert!((0.0..=1.0).contains(&m.p01));
-            prop_assert!(((m.p01 + m.p00()) - 1.0).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&m.p01));
+            assert!(((m.p01 + m.p00()) - 1.0).abs() < 1e-12);
         }
         if m.from1 > 0 {
-            prop_assert!((0.0..=1.0).contains(&m.p11));
-            prop_assert!(((m.p11 + m.p10()) - 1.0).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&m.p11));
+            assert!(((m.p11 + m.p10()) - 1.0).abs() < 1e-12);
         }
-        prop_assert_eq!(m.from0 + m.from1, chain.len() as u64 - 1);
+        assert_eq!(m.from0 + m.from1, chain.len() as u64 - 1);
     }
+}
 
-    #[test]
-    fn ecdf_is_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+#[test]
+fn ecdf_is_monotone() {
+    let mut rng = Rng::new(0xa4_a1_04);
+    for _ in 0..CASES {
+        let n = rng.range(1, 300) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let e = Ecdf::new(xs);
         // Quantiles increase with q.
         let mut last = f64::NEG_INFINITY;
         for i in 0..=10 {
             let q = e.quantile(i as f64 / 10.0);
-            prop_assert!(q >= last);
+            assert!(q >= last);
             last = q;
         }
         // CDF increases with x and brackets [0,1].
         let lo = e.fraction_at_or_below(e.min() - 1.0);
         let hi = e.fraction_at_or_below(e.max());
-        prop_assert_eq!(lo, 0.0);
-        prop_assert_eq!(hi, 1.0);
-        prop_assert!(e.fraction_at_or_below(e.quantile(0.5)) >= 0.5);
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        assert!(e.fraction_at_or_below(e.quantile(0.5)) >= 0.5);
     }
+}
 
-    #[test]
-    fn pearson_bounded_and_symmetric(
-        xs in prop::collection::vec(-1e3f64..1e3, 3..100),
-        ys in prop::collection::vec(-1e3f64..1e3, 3..100),
-    ) {
+#[test]
+fn pearson_bounded_and_symmetric() {
+    let mut rng = Rng::new(0xa4_a1_05);
+    for _ in 0..CASES {
+        let nx = rng.range(3, 100) as usize;
+        let ny = rng.range(3, 100) as usize;
+        let xs: Vec<f64> = (0..nx).map(|_| rng.range_f64(-1e3, 1e3)).collect();
+        let ys: Vec<f64> = (0..ny).map(|_| rng.range_f64(-1e3, 1e3)).collect();
         let n = xs.len().min(ys.len());
         let r = pearson(&xs[..n], &ys[..n]);
-        prop_assert!((-1.0..=1.0).contains(&r));
+        assert!((-1.0..=1.0).contains(&r));
         let r2 = pearson(&ys[..n], &xs[..n]);
-        prop_assert!((r - r2).abs() < 1e-12);
+        assert!((r - r2).abs() < 1e-12);
         // Perfect self-correlation unless degenerate.
         let self_r = pearson(&xs[..n], &xs[..n]);
-        prop_assert!(self_r == 0.0 || (self_r - 1.0).abs() < 1e-9);
+        assert!(self_r == 0.0 || (self_r - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn relative_mad_properties(vals in prop::collection::vec(0.0f64..10.0, 1..32), scale in 0.1f64..100.0) {
+#[test]
+fn relative_mad_properties() {
+    let mut rng = Rng::new(0xa4_a1_06);
+    for _ in 0..CASES {
+        let n = rng.range(1, 32) as usize;
+        let vals: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 10.0)).collect();
+        let scale = rng.range_f64(0.1, 100.0);
         let m = relative_mad(&vals);
-        prop_assert!(m >= 0.0);
+        assert!(m >= 0.0);
         // Scale invariance.
         let scaled: Vec<f64> = vals.iter().map(|v| v * scale).collect();
-        prop_assert!((relative_mad(&scaled) - m).abs() < 1e-9);
+        assert!((relative_mad(&scaled) - m).abs() < 1e-9);
         // Perfectly balanced input has (numerically) zero MAD.
         let flat = vec![vals[0]; vals.len()];
-        prop_assert!(relative_mad(&flat) < 1e-9);
+        assert!(relative_mad(&flat) < 1e-9);
     }
+}
 
-    #[test]
-    fn summary_is_ordered(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn summary_is_ordered() {
+    let mut rng = Rng::new(0xa4_a1_07);
+    for _ in 0..CASES {
+        let n = rng.range(1, 200) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect();
         let s = Summary::of(&xs);
-        prop_assert!(s.min <= s.q1 + 1e-9);
-        prop_assert!(s.q1 <= s.median + 1e-9);
-        prop_assert!(s.median <= s.q3 + 1e-9);
-        prop_assert!(s.q3 <= s.max + 1e-9);
-        prop_assert!(s.min <= s.mean && s.mean <= s.max);
-        prop_assert_eq!(s.n, xs.len());
+        assert!(s.min <= s.q1 + 1e-9);
+        assert!(s.q1 <= s.median + 1e-9);
+        assert!(s.median <= s.q3 + 1e-9);
+        assert!(s.q3 <= s.max + 1e-9);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert_eq!(s.n, xs.len());
     }
+}
 
-    #[test]
-    fn windows_conserve_deltas(
-        deltas in prop::collection::vec(0u64..10_000, 2..200),
-        width_us in 1u64..500,
-    ) {
+#[test]
+fn windows_conserve_deltas() {
+    let mut rng = Rng::new(0xa4_a1_08);
+    for _ in 0..CASES {
+        let n = rng.range(2, 200) as usize;
+        let deltas: Vec<u64> = (0..n).map(|_| rng.below(10_000)).collect();
+        let width_us = rng.range(1, 500);
         // Build a cumulative series at 25us spacing.
         let mut series = Series::new();
         let mut total = 0u64;
@@ -139,35 +175,44 @@ proptest! {
             let w = to_windows(&series, origin, Nanos::from_micros(width_us), end);
             let windowed: u64 = w.iter().map(|x| x.delta).sum();
             let expected: u64 = deltas[1..].iter().sum();
-            prop_assert_eq!(windowed, expected);
+            assert_eq!(windowed, expected);
         }
     }
+}
 
-    #[test]
-    fn kolmogorov_sf_is_decreasing(a in 0.0f64..5.0, b in 0.0f64..5.0) {
+#[test]
+fn kolmogorov_sf_is_decreasing() {
+    let mut rng = Rng::new(0xa4_a1_09);
+    for _ in 0..CASES {
+        let a = rng.range_f64(0.0, 5.0);
+        let b = rng.range_f64(0.0, 5.0);
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        prop_assert!(kolmogorov_sf(lo) >= kolmogorov_sf(hi));
-        prop_assert!((0.0..=1.0).contains(&kolmogorov_sf(a)));
+        assert!(kolmogorov_sf(lo) >= kolmogorov_sf(hi));
+        assert!((0.0..=1.0).contains(&kolmogorov_sf(a)));
     }
+}
 
-    #[test]
-    fn hot_port_counts_bounded(
-        utils in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 50), 1..8),
-    ) {
-        let series: Vec<Vec<UtilSample>> = utils
-            .iter()
-            .map(|u| {
-                let dt = Nanos::from_micros(300);
-                u.iter()
-                    .enumerate()
-                    .map(|(i, &util)| UtilSample { t: dt * (i as u64 + 1), dt, util })
+#[test]
+fn hot_port_counts_bounded() {
+    let mut rng = Rng::new(0xa4_a1_0a);
+    for _ in 0..CASES {
+        let n_ports = rng.range(1, 8) as usize;
+        let dt = Nanos::from_micros(300);
+        let series: Vec<Vec<UtilSample>> = (0..n_ports)
+            .map(|_| {
+                (0..50)
+                    .map(|i| UtilSample {
+                        t: dt * (i as u64 + 1),
+                        dt,
+                        util: rng.f64(),
+                    })
                     .collect()
             })
             .collect();
         let counts = hot_port_counts(&series, 0.5);
-        prop_assert_eq!(counts.len(), 50);
+        assert_eq!(counts.len(), 50);
         for c in counts {
-            prop_assert!(c <= series.len());
+            assert!(c <= series.len());
         }
     }
 }

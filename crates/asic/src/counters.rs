@@ -31,7 +31,13 @@ pub const N_SIZE_BINS: usize = SIZE_BIN_EDGES.len() + 1;
 
 /// Human-readable labels for the size bins, index-aligned with counters.
 pub const SIZE_BIN_LABELS: [&str; N_SIZE_BINS] = [
-    "<=64", "65-127", "128-255", "256-511", "512-1023", "1024-1518", ">1518",
+    "<=64",
+    "65-127",
+    "128-255",
+    "256-511",
+    "512-1023",
+    "1024-1518",
+    ">1518",
 ];
 
 /// Maps a frame size to its histogram bin index.
@@ -69,6 +75,13 @@ impl CounterId {
     /// Is reading this counter destructive (read-and-clear)?
     pub fn is_read_and_clear(self) -> bool {
         matches!(self, CounterId::BufferPeak)
+    }
+
+    /// Is this a cumulative (monotonically increasing) counter, as opposed
+    /// to a gauge? Only cumulative counters wrap at the register width and
+    /// need wrap-aware delta decoding on the collection side.
+    pub fn is_cumulative(self) -> bool {
+        !matches!(self, CounterId::BufferLevel | CounterId::BufferPeak)
     }
 }
 
@@ -275,10 +288,7 @@ mod tests {
             .map(|b| c.read(CounterId::RxSizeHist(PortId(0), b)))
             .sum();
         assert_eq!(hist_total, sizes.len() as u64);
-        assert_eq!(
-            c.read(CounterId::RxPackets(PortId(0))),
-            sizes.len() as u64
-        );
+        assert_eq!(c.read(CounterId::RxPackets(PortId(0))), sizes.len() as u64);
     }
 
     #[test]

@@ -12,17 +12,24 @@
 //! simulated switch updates these counters on every packet. The read side
 //! ([`AsicCounters::read`]) is what `uburst-core`'s pollers call, paying the
 //! [`AccessModel`] cost in simulated time.
+//!
+//! Reads are *best-effort* in production: the [`fault`] module injects
+//! seeded, reproducible bus timeouts, latency spikes, stale reads, and
+//! narrow (wrapping) counter widths so the collection tier's degradation
+//! paths can be exercised deterministically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod counters;
+pub mod fault;
 
 pub use access::{AccessModel, StorageClass};
 pub use counters::{
     size_bin, AsicCounters, CounterId, N_SIZE_BINS, SIZE_BIN_EDGES, SIZE_BIN_LABELS,
 };
+pub use fault::{FaultInjector, FaultPlan, FaultStats, ReadFault};
 
 #[cfg(test)]
 mod integration {

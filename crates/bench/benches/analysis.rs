@@ -1,16 +1,38 @@
-//! Criterion benchmarks for the analysis library on campaign-sized inputs
+//! Benchmarks for the analysis library on campaign-sized inputs
 //! (a 2-minute 25 µs campaign is ~5 M samples; these use 1 M).
+//!
+//! Self-contained `Instant`-based harness (no external bench framework);
+//! run with `cargo bench --bench analysis`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use uburst_analysis::{
-    correlation_matrix, extract_bursts, fit_transition_matrix, hot_chain,
-    ks_test_exponential, mad_per_period, Ecdf, HOT_THRESHOLD,
+    correlation_matrix, extract_bursts, fit_transition_matrix, hot_chain, ks_test_exponential,
+    mad_per_period, Ecdf, HOT_THRESHOLD,
 };
 use uburst_core::series::UtilSample;
 use uburst_sim::rng::Rng;
 use uburst_sim::time::Nanos;
+
+fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+    let mut sink = black_box(f()); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(black_box(f()));
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<26} median {:>9.2} ms   best {:>9.2} ms",
+        median * 1e3,
+        times[0] * 1e3
+    );
+    black_box(sink);
+    median
+}
 
 fn synth_utils(n: usize, seed: u64) -> Vec<UtilSample> {
     // A bursty synthetic series: sticky two-state chain plus noise.
@@ -38,54 +60,36 @@ fn synth_utils(n: usize, seed: u64) -> Vec<UtilSample> {
         .collect()
 }
 
-fn bench_burst_extraction(c: &mut Criterion) {
+fn main() {
     let utils = synth_utils(1_000_000, 1);
-    let mut g = c.benchmark_group("analysis");
-    g.throughput(Throughput::Elements(utils.len() as u64));
-    g.bench_function("extract_bursts_1M", |b| {
-        b.iter(|| black_box(extract_bursts(&utils, HOT_THRESHOLD).bursts.len()))
+    bench("extract_bursts_1M", 20, || {
+        extract_bursts(&utils, HOT_THRESHOLD).bursts.len() as u64
     });
-    g.bench_function("markov_fit_1M", |b| {
-        let chain = hot_chain(&utils, HOT_THRESHOLD);
-        b.iter(|| black_box(fit_transition_matrix(&chain).likelihood_ratio()))
+    let chain = hot_chain(&utils, HOT_THRESHOLD);
+    bench("markov_fit_1M", 20, || {
+        fit_transition_matrix(&chain).likelihood_ratio() as u64
     });
-    g.finish();
-}
 
-fn bench_ecdf(c: &mut Criterion) {
     let mut rng = Rng::new(2);
     let xs: Vec<f64> = (0..1_000_000).map(|_| rng.exp(100.0)).collect();
-    let mut g = c.benchmark_group("analysis");
-    g.sample_size(20);
-    g.throughput(Throughput::Elements(xs.len() as u64));
-    g.bench_function("ecdf_build_1M", |b| {
-        b.iter(|| black_box(Ecdf::new(xs.clone()).quantile(0.9)))
+    bench("ecdf_build_1M", 20, || {
+        Ecdf::new(xs.clone()).quantile(0.9) as u64
     });
     let smaller: Vec<f64> = xs.iter().take(100_000).copied().collect();
-    g.bench_function("ks_test_100k", |b| {
-        b.iter(|| black_box(ks_test_exponential(&smaller).p_value))
+    bench("ks_test_100k", 20, || {
+        (ks_test_exponential(&smaller).p_value * 1e9) as u64
     });
-    g.finish();
-}
 
-fn bench_matrix_ops(c: &mut Criterion) {
     let mut rng = Rng::new(3);
     // 24 servers x 100k samples (a 250us campaign over 25s).
     let series: Vec<Vec<f64>> = (0..24)
         .map(|_| (0..100_000).map(|_| rng.f64()).collect())
         .collect();
-    let mut g = c.benchmark_group("analysis");
-    g.sample_size(10);
-    g.bench_function("pearson_matrix_24x100k", |b| {
-        b.iter(|| black_box(correlation_matrix(&series)[0][1]))
+    bench("pearson_matrix_24x100k", 10, || {
+        (correlation_matrix(&series)[0][1] * 1e9) as u64
     });
     let uplinks: Vec<Vec<f64>> = series[..4].to_vec();
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("mad_per_period_4x100k", |b| {
-        b.iter(|| black_box(mad_per_period(&uplinks).len()))
+    bench("mad_per_period_4x100k", 10, || {
+        mad_per_period(&uplinks).len() as u64
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_burst_extraction, bench_ecdf, bench_matrix_ops);
-criterion_main!(benches);

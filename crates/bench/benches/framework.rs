@@ -1,9 +1,12 @@
-//! Criterion benchmarks for the collection framework: how fast the
-//! building blocks run on the host (distinct from the simulated-time
-//! behaviour the figures measure).
+//! Benchmarks for the collection framework: how fast the building blocks
+//! run on the host (distinct from the simulated-time behaviour the figures
+//! measure).
+//!
+//! Self-contained `Instant`-based harness (no external bench framework);
+//! run with `cargo bench --bench framework`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use uburst_asic::{AccessModel, AsicCounters, CounterId};
 use uburst_core::batch::{Batch, BatchPolicy, Batcher, SourceId};
@@ -17,103 +20,112 @@ use uburst_sim::node::{NodeId, PortId};
 use uburst_sim::sim::Simulator;
 use uburst_sim::time::Nanos;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(
-                        Nanos((i * 7919) % 100_000),
-                        EventKind::Timer {
-                            node: NodeId(0),
-                            token: i,
-                        },
-                    );
-                }
-                while let Some(e) = q.pop_until(Nanos::MAX) {
-                    black_box(e.time);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+    let mut sink = black_box(f()); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(black_box(f()));
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<28} median {:>11.4} ms   best {:>11.4} ms",
+        median * 1e3,
+        times[0] * 1e3
+    );
+    black_box(sink);
+    median
 }
 
-fn bench_counter_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("asic_counters");
-    let bank = AsicCounters::new(32);
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("count_tx", |b| {
-        b.iter(|| bank.count_tx(black_box(PortId(3)), black_box(1500)))
-    });
-    g.bench_function("read_byte_counter", |b| {
-        b.iter(|| black_box(bank.read(CounterId::TxBytes(PortId(3)))))
-    });
-    g.bench_function("poll_cost_model_4_counters", |b| {
-        let access = AccessModel::default();
-        let ids: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
-        b.iter(|| black_box(access.poll_cost(&ids)))
-    });
-    g.finish();
-}
-
-fn bench_poller_loop(c: &mut Criterion) {
-    // Host cost of simulating one second of 25us polling on an idle bank.
-    let mut g = c.benchmark_group("poller");
-    g.sample_size(20);
-    g.bench_function("simulate_1s_at_25us", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new();
-            let bank = AsicCounters::new_shared(4);
-            let poller = Poller::in_memory(
-                bank,
-                AccessModel::default(),
-                CampaignConfig::single(
-                    "bytes",
-                    CounterId::TxBytes(PortId(0)),
-                    Nanos::from_micros(25),
-                ),
-                1,
+fn bench_event_queue() {
+    bench("schedule_pop_10k", 50, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(
+                Nanos((i * 7919) % 100_000),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: i,
+                },
             );
-            let id = poller.spawn(&mut sim, Nanos::ZERO, Nanos::from_secs(1));
-            sim.run_until(Nanos::MAX);
-            black_box(sim.node_mut::<Poller>(id).stats().polls)
-        })
+        }
+        let mut popped = 0u64;
+        while let Some(e) = q.pop_until(Nanos::MAX) {
+            popped = popped.wrapping_add(e.time.as_nanos());
+        }
+        popped
     });
-    g.finish();
 }
 
-fn bench_batcher(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batcher");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("record_10k_samples", |b| {
-        b.iter_batched(
-            || {
-                Batcher::new(
-                    SourceId(0),
-                    "bench",
-                    vec![CounterId::TxBytes(PortId(0))],
-                    BatchPolicy::default(),
-                )
-            },
-            |mut batcher| {
-                for i in 0..10_000u64 {
-                    black_box(batcher.record(Nanos(i * 25_000), &[i]));
-                }
-            },
-            BatchSize::SmallInput,
+fn bench_counter_ops() {
+    let bank = AsicCounters::new(32);
+    bench("count_tx_1M", 20, || {
+        for _ in 0..1_000_000u32 {
+            bank.count_tx(black_box(PortId(3)), black_box(1500));
+        }
+        bank.read(CounterId::TxBytes(PortId(3)))
+    });
+    bench("read_byte_counter_1M", 20, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000u32 {
+            acc = acc.wrapping_add(bank.read(black_box(CounterId::TxBytes(PortId(3)))));
+        }
+        acc
+    });
+    let access = AccessModel::default();
+    let ids: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
+    bench("poll_cost_model_4x1M", 20, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000u32 {
+            acc = acc.wrapping_add(access.poll_cost(black_box(&ids)).as_nanos());
+        }
+        acc
+    });
+}
+
+fn bench_poller_loop() {
+    // Host cost of simulating one second of 25us polling on an idle bank.
+    bench("simulate_1s_at_25us", 20, || {
+        let mut sim = Simulator::new();
+        let bank = AsicCounters::new_shared(4);
+        let poller = Poller::in_memory(
+            bank,
+            AccessModel::default(),
+            CampaignConfig::single(
+                "bytes",
+                CounterId::TxBytes(PortId(0)),
+                Nanos::from_micros(25),
+            ),
+            1,
         )
+        .expect("valid campaign");
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_secs(1))
+            .expect("valid window");
+        sim.run_until(Nanos::MAX);
+        sim.node_mut::<Poller>(id).stats().polls
     });
-    g.finish();
 }
 
-fn bench_collector(c: &mut Criterion) {
-    let mut g = c.benchmark_group("collector");
-    g.sample_size(20);
+fn bench_batcher() {
+    bench("record_10k_samples", 50, || {
+        let mut batcher = Batcher::new(
+            SourceId(0),
+            "bench",
+            vec![CounterId::TxBytes(PortId(0))],
+            BatchPolicy::default(),
+        );
+        let mut out = 0u64;
+        for i in 0..10_000u64 {
+            out += batcher.record(Nanos(i * 25_000), &[i]).len() as u64;
+        }
+        out
+    });
+}
+
+fn bench_collector() {
     let make_batch = |k: u64| {
         let mut s = Series::new();
         for i in 0..1_000u64 {
@@ -126,27 +138,21 @@ fn bench_collector(c: &mut Criterion) {
             samples: s,
         }
     };
-    g.throughput(Throughput::Elements(100 * 1_000));
-    g.bench_function("ingest_100_batches_of_1k", |b| {
-        b.iter(|| {
-            let (collector, tx) = Collector::start(2, 64);
-            for k in 0..100u64 {
-                tx.send(make_batch(k)).expect("send");
-            }
-            drop(tx);
-            let (store, n) = collector.shutdown();
-            black_box((store.total_samples(), n))
-        })
+    bench("ingest_100_batches_of_1k", 20, || {
+        let (collector, tx) = Collector::start(2, 64).expect("collector starts");
+        for k in 0..100u64 {
+            tx.send(make_batch(k)).expect("send");
+        }
+        drop(tx);
+        let (store, report) = collector.shutdown().expect("clean shutdown");
+        store.total_samples() as u64 + report.ingested
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_counter_ops,
-    bench_poller_loop,
-    bench_batcher,
-    bench_collector
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_counter_ops();
+    bench_poller_loop();
+    bench_batcher();
+    bench_collector();
+}

@@ -1,47 +1,58 @@
-//! Criterion benchmarks for the simulator: host time to simulate fixed
-//! spans of each measured-rack scenario, and raw transport throughput.
+//! Benchmarks for the simulator: host time to simulate fixed spans of each
+//! measured-rack scenario, and raw event throughput.
+//!
+//! Self-contained `Instant`-based harness (no external bench framework);
+//! run with `cargo bench --bench simulation`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{build_scenario, RackType, ScenarioConfig};
 
-fn bench_rack_scenarios(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_20ms");
-    g.sample_size(10);
-    for rack_type in RackType::ALL {
-        g.bench_function(rack_type.name(), |b| {
-            b.iter(|| {
-                let mut s = build_scenario(ScenarioConfig::new(rack_type, 9));
-                s.sim.run_until(Nanos::from_millis(20));
-                black_box(s.sim.dispatched())
-            })
-        });
+fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+    let mut sink = black_box(f()); // warmup
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(black_box(f()));
+        times.push(t0.elapsed().as_secs_f64());
     }
-    g.finish();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<28} median {:>9.2} ms   best {:>9.2} ms",
+        median * 1e3,
+        times[0] * 1e3
+    );
+    black_box(sink);
+    median
 }
 
-fn bench_event_rate(c: &mut Criterion) {
-    // Events/second the DES core sustains on the heaviest scenario.
-    let mut g = c.benchmark_group("event_rate");
-    g.sample_size(10);
-    // Pre-measure event count for throughput reporting.
+fn main() {
+    println!("== simulate 20ms of each rack scenario ==");
+    for rack_type in RackType::ALL {
+        bench(rack_type.name(), 10, || {
+            let mut s = build_scenario(ScenarioConfig::new(rack_type, 9));
+            s.sim.run_until(Nanos::from_millis(20));
+            s.sim.dispatched()
+        });
+    }
+
+    println!("== DES event rate (heaviest scenario) ==");
     let events = {
         let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
         s.sim.run_until(Nanos::from_millis(20));
         s.sim.dispatched()
     };
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("hadoop_20ms_events", |b| {
-        b.iter(|| {
-            let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
-            s.sim.run_until(Nanos::from_millis(20));
-            black_box(s.sim.dispatched())
-        })
+    let median = bench("hadoop_20ms_events", 10, || {
+        let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
+        s.sim.run_until(Nanos::from_millis(20));
+        s.sim.dispatched()
     });
-    g.finish();
+    println!(
+        "{events} events in {:.2} ms -> {:.1} M events/s",
+        median * 1e3,
+        events as f64 / median / 1e6
+    );
 }
-
-criterion_group!(benches, bench_rack_scenarios, bench_event_rate);
-criterion_main!(benches);

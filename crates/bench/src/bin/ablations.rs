@@ -39,15 +39,13 @@ fn ablate_buffer_alpha() {
         cfg.load = 1.6;
         cfg.clos.tor_switch.alpha = alpha;
         let n = cfg.n_servers;
-        let (run, port) =
-            measure_single_port(cfg, Some(2), Nanos::from_micros(25), SPAN);
+        let (run, port) = measure_single_port(cfg, Some(2), Nanos::from_micros(25), SPAN);
         let utils = run.utilization(CounterId::TxBytes(port), 10_000_000_000);
         let a = extract_bursts(&utils, HOT_THRESHOLD);
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect())
-                .quantile(0.9)
+            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
         };
         let tor = run.scenario.tor();
         let stats = run.scenario.sim.node::<Switch>(tor).stats();
@@ -208,15 +206,13 @@ fn ablate_pacing() {
         cfg.nic_pace_bps = pace;
         let uplink = cfg.n_servers;
         let uplink_bps = cfg.clos.uplink.bandwidth_bps;
-        let (run, port) =
-            measure_single_port(cfg, Some(uplink), Nanos::from_micros(25), SPAN);
+        let (run, port) = measure_single_port(cfg, Some(uplink), Nanos::from_micros(25), SPAN);
         let utils = run.utilization(CounterId::TxBytes(port), uplink_bps);
         let a = extract_bursts(&utils, HOT_THRESHOLD);
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect())
-                .quantile(0.9)
+            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
         };
         let tor = run.scenario.tor();
         let drops = run.scenario.sim.node::<Switch>(tor).stats().dropped_packets;

@@ -48,10 +48,7 @@ fn main() {
     ]);
     let mut analyzed = 0;
     for key in store.keys() {
-        let is_bytes = matches!(
-            key.counter,
-            CounterId::TxBytes(_) | CounterId::RxBytes(_)
-        );
+        let is_bytes = matches!(key.counter, CounterId::TxBytes(_) | CounterId::RxBytes(_));
         if !is_bytes {
             continue; // only byte counters convert to utilization
         }

@@ -27,7 +27,16 @@ fn main() {
     let interval = Nanos::from_micros(25);
 
     let mut table = Table::new(&[
-        "rack", "port", "util", "hot%", "bursts", "p50us", "p90us", "p99us", "maxus", "gap_p50us",
+        "rack",
+        "port",
+        "util",
+        "hot%",
+        "bursts",
+        "p50us",
+        "p90us",
+        "p99us",
+        "maxus",
+        "gap_p50us",
         "markov_r",
     ]);
 
@@ -40,8 +49,7 @@ fn main() {
             let port_speed = port_bps(&cfg, port);
             let (run, port) = measure_single_port(cfg, Some(port.0 as usize), interval, span);
             let util = run.utilization(CounterId::TxBytes(port), port_speed);
-            let mean_util: f64 =
-                util.iter().map(|u| u.util).sum::<f64>() / util.len() as f64;
+            let mean_util: f64 = util.iter().map(|u| u.util).sum::<f64>() / util.len() as f64;
             let analysis = extract_bursts(&util, HOT_THRESHOLD);
             let chain = hot_chain(&util, HOT_THRESHOLD);
             let m = fit_transition_matrix(&chain);
@@ -55,12 +63,7 @@ fn main() {
                 (0.0, 0.0, 0.0, 0.0)
             } else {
                 let e = Ecdf::new(durations);
-                (
-                    e.quantile(0.5),
-                    e.quantile(0.9),
-                    e.quantile(0.99),
-                    e.max(),
-                )
+                (e.quantile(0.5), e.quantile(0.9), e.quantile(0.99), e.max())
             };
             let gap50 = if gaps.is_empty() {
                 0.0
@@ -71,7 +74,11 @@ fn main() {
                 format!("{}/{}", rack_type.name(), seed),
                 format!(
                     "{}{}",
-                    if (port.0 as usize) < n_servers { "dn" } else { "up" },
+                    if (port.0 as usize) < n_servers {
+                        "dn"
+                    } else {
+                        "up"
+                    },
                     port.0
                 ),
                 format!("{:.3}", mean_util),
@@ -143,10 +150,18 @@ fn main() {
         let corr_pod = pod_sum / pod_cnt.max(1) as f64;
         // Drops and their direction.
         let dn_drops: u64 = (0..n)
-            .map(|i| run.scenario.counters.read(CounterId::Drops(PortId(i as u16))))
+            .map(|i| {
+                run.scenario
+                    .counters
+                    .read(CounterId::Drops(PortId(i as u16)))
+            })
             .sum();
         let up_drops: u64 = (n..n + 4)
-            .map(|i| run.scenario.counters.read(CounterId::Drops(PortId(i as u16))))
+            .map(|i| {
+                run.scenario
+                    .counters
+                    .read(CounterId::Drops(PortId(i as u16)))
+            })
             .sum();
         let total_drops = dn_drops + up_drops;
         t2.row(&[

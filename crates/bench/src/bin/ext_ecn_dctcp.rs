@@ -50,10 +50,7 @@ fn main() {
         cfg.clos.tor_switch.ecn_threshold = threshold;
         cfg.transport.ecn = threshold.is_some();
         let measured_port = PortId(2);
-        let counters = vec![
-            CounterId::TxBytes(measured_port),
-            CounterId::BufferPeak,
-        ];
+        let counters = vec![CounterId::TxBytes(measured_port), CounterId::BufferPeak];
         let run = run_campaign(cfg, counters, Nanos::from_micros(300), span);
 
         let utils = run.utilization(CounterId::TxBytes(measured_port), 10_000_000_000);
@@ -61,8 +58,7 @@ fn main() {
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect())
-                .quantile(0.9)
+            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
         };
         let peak = run
             .series_for(CounterId::BufferPeak)
@@ -105,7 +101,11 @@ fn main() {
     );
     println!(
         "  [{}] ECN lowers peak buffer occupancy ({} -> {})",
-        if peak_k < peak0 || drops0 == 0 { "ok" } else { "MISS" },
+        if peak_k < peak0 || drops0 == 0 {
+            "ok"
+        } else {
+            "MISS"
+        },
         fmt_bytes(peak0),
         fmt_bytes(peak_k)
     );

@@ -36,10 +36,10 @@ fn poll_port(
 ) -> Vec<uburst_core::UtilSample> {
     let campaign =
         CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
-    let poller = Poller::in_memory(bank, AccessModel::default(), campaign, seed);
-    let id = poller.spawn(&mut s.sim, start, stop);
+    let poller = Poller::in_memory(bank, AccessModel::default(), campaign, seed).unwrap();
+    let id = poller.spawn(&mut s.sim, start, stop).unwrap();
     s.sim.run_until(stop + Nanos::from_millis(1));
-    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    let series = &s.sim.node_mut::<Poller>(id).take_series().unwrap()[0].1;
     series.utilization(bps)
 }
 
@@ -48,9 +48,7 @@ fn main() {
     println!("extension: ToR vs fabric tier, same Hadoop rack, 25us campaigns");
     println!();
 
-    let mut t = Table::new(&[
-        "tier", "port", "util%", "hot%", "bursts", "p90us", "drops",
-    ]);
+    let mut t = Table::new(&["tier", "port", "util%", "hot%", "bursts", "p90us", "drops"]);
     let mut tor_hot = 0.0;
     let mut fabric_hot = f64::MAX;
 
@@ -83,8 +81,7 @@ fn main() {
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect())
-                .quantile(0.9)
+            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
         };
         let drops = if round == 0 {
             s.sim.node::<Switch>(s.tor()).stats().dropped_packets

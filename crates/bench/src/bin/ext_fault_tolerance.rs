@@ -1,0 +1,165 @@
+//! Extension experiment: the collection pipeline under hardware faults.
+//!
+//! The paper's framework runs on production switch CPUs where counter
+//! reads ride real bus transactions: they time out, stall, and return
+//! stale data, and many register banks are only 32 bits wide (§4.1). This
+//! harness arms the fault-injection layer and sweeps the transient-failure
+//! rate on a fixed 25 µs byte-counter campaign, reporting
+//!
+//! * **sampling loss** — the Table-1 metric (deadline misses) plus polls
+//!   abandoned after retry exhaustion,
+//! * **accuracy** — the reconstructed mean rate vs. the fault-free run
+//!   (wrap decoding must hide the 32-bit wraps entirely), and
+//! * **accounting** — every injected fault must appear in the poller's
+//!   stats (`read_errors == retries + abandoned`, injector and poller
+//!   agree on timeouts and stale reads).
+//!
+//! Everything is deterministic from the printed seeds.
+//!
+//! Run with `cargo run --release -p uburst-bench --bin ext_fault_tolerance`.
+
+use uburst_asic::{CounterId, FaultPlan};
+use uburst_bench::campaign::{run_campaign_hardened, CampaignRun};
+use uburst_bench::report::Table;
+use uburst_core::poller::RetryPolicy;
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+const SEED: u64 = 90_210;
+const PORT: PortId = PortId(2);
+
+fn run_at(fault_rate: f64, span: Nanos) -> CampaignRun {
+    let cfg = ScenarioConfig::new(RackType::Hadoop, SEED);
+    // The fault-free baseline uses full-width registers; every faulted run
+    // also narrows the counters to 32 bits, so accuracy checks cover the
+    // wrap decoder too.
+    let plan = (fault_rate > 0.0).then(|| {
+        FaultPlan::none(SEED ^ 0xFA17)
+            .with_transient_failure(fault_rate)
+            .with_stale_read(fault_rate / 4.0)
+            .with_latency_spike(fault_rate / 2.0)
+            .with_counter_bits(32)
+    });
+    run_campaign_hardened(
+        cfg,
+        vec![CounterId::TxBytes(PORT)],
+        Nanos::from_micros(25),
+        span,
+        plan,
+        RetryPolicy::default(),
+        None,
+    )
+}
+
+/// Mean rate in bytes/sec reconstructed from the campaign's series.
+fn mean_rate(run: &CampaignRun) -> f64 {
+    let s = &run.series[0].1;
+    let dv = s.vs.last().unwrap() - s.vs[0];
+    let dt = Nanos(s.ts.last().unwrap() - s.ts[0]).as_secs_f64();
+    dv as f64 / dt
+}
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    let span = scale.campaign_span();
+    println!(
+        "extension: fault tolerance of the collection pipeline ({} scale)",
+        scale.label()
+    );
+    println!(
+        "Hadoop rack seed {SEED}, port {}, 25us byte campaign, {span} span",
+        PORT.0
+    );
+    println!("faulted runs add 32-bit counter wrap + stale reads + latency spikes");
+    println!();
+
+    let baseline = run_at(0.0, span);
+    let base_rate = mean_rate(&baseline);
+
+    let mut t = Table::new(&[
+        "fault%",
+        "polls",
+        "loss%",
+        "errors",
+        "retries",
+        "abandoned",
+        "stale",
+        "rate_MBs",
+        "err%",
+        "books",
+    ]);
+    let mut all_accounted = true;
+    let mut one_pct_err = f64::MAX;
+    let mut one_pct_loss = f64::MAX;
+    for &rate in &[0.0, 0.001, 0.01, 0.05, 0.10] {
+        let run = run_at(rate, span);
+        let st = run.poller_stats;
+        let abandoned = st.abandoned_polls();
+        let deadlines = st.polls + st.missed_deadlines;
+        let loss = (st.missed_deadlines + abandoned) as f64 / deadlines as f64;
+        let r = mean_rate(&run);
+        let err = (r - base_rate).abs() / base_rate;
+        // Every fault the injector recorded must be visible in the
+        // poller's own books.
+        let books = match run.fault_stats {
+            None => st.read_errors == 0 && st.stale_reads == 0,
+            Some(f) => {
+                f.bus_timeouts == st.read_errors
+                    && f.stale_values == st.stale_reads
+                    && st.read_errors == st.retries + abandoned
+            }
+        };
+        all_accounted &= books;
+        if rate == 0.01 {
+            one_pct_err = err;
+            one_pct_loss = loss;
+        }
+        t.row(&[
+            format!("{:.1}", rate * 100.0),
+            format!("{}", st.polls),
+            format!("{:.2}", loss * 100.0),
+            format!("{}", st.read_errors),
+            format!("{}", st.retries),
+            format!("{abandoned}"),
+            format!("{}", st.stale_reads),
+            format!("{:.2}", r / 1e6),
+            format!("{:.3}", err * 100.0),
+            if books { "ok".into() } else { "BAD".into() },
+        ]);
+    }
+    t.print();
+
+    // Determinism: the 1% run, replayed from the same seeds, must be
+    // bit-identical down to its fault stream.
+    let a = run_at(0.01, span);
+    let b = run_at(0.01, span);
+    let deterministic = a.poller_stats == b.poller_stats
+        && a.fault_stats == b.fault_stats
+        && a.series[0].1.vs == b.series[0].1.vs;
+
+    println!();
+    println!("reading: retries absorb transient bus timeouts (loss stays near the");
+    println!("fault-free Table-1 level until the fault rate swamps the retry");
+    println!("budget), and wrap decoding makes 32-bit registers invisible in the");
+    println!("reconstructed rates.");
+    println!("\nchecks:");
+    println!(
+        "  [{}] 1% faults + 32-bit wrap keeps rate error under 1% ({:.3}%)",
+        if one_pct_err < 0.01 { "ok" } else { "MISS" },
+        one_pct_err * 100.0
+    );
+    println!(
+        "  [{}] 1% faults keeps sampling loss under 5% ({:.2}%)",
+        if one_pct_loss < 0.05 { "ok" } else { "MISS" },
+        one_pct_loss * 100.0
+    );
+    println!(
+        "  [{}] every injected fault is accounted in poller stats",
+        if all_accounted { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] replay from seed {SEED} is bit-identical",
+        if deterministic { "ok" } else { "MISS" }
+    );
+}

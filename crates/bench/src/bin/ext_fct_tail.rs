@@ -52,9 +52,7 @@ fn main() {
     println!("extension: FCT slowdown of cache responses vs load (25us-burst effects)");
     println!();
 
-    let mut t = Table::new(&[
-        "load", "transport", "flows", "p50", "p90", "p99", "max",
-    ]);
+    let mut t = Table::new(&["load", "transport", "flows", "p50", "p90", "p99", "max"]);
     let mut p99s: Vec<(f64, bool, f64, f64)> = Vec::new();
     for &load in &[0.5, 1.0, 1.5, 2.0] {
         for ecn in [false, true] {

@@ -5,8 +5,9 @@
 //! a campaign window, convert cumulative byte series to per-interval
 //! utilization.
 
-use uburst_asic::{AccessModel, CounterId};
-use uburst_core::poller::Poller;
+use uburst_asic::{AccessModel, CounterId, FaultInjector, FaultPlan, FaultStats};
+use uburst_core::degrade::DegradationPolicy;
+use uburst_core::poller::{Poller, RetryPolicy};
 use uburst_core::series::{Series, UtilSample};
 use uburst_core::spec::CampaignConfig;
 use uburst_sim::node::PortId;
@@ -21,6 +22,10 @@ pub struct CampaignRun {
     pub series: Vec<(CounterId, Series)>,
     /// Poller behaviour during the campaign.
     pub poller_stats: uburst_core::poller::PollerStats,
+    /// Injected-fault counts, when the campaign ran under a fault plan.
+    pub fault_stats: Option<FaultStats>,
+    /// Final adaptive-degradation level (0 unless degradation was armed).
+    pub degrade_level: u32,
 }
 
 impl CampaignRun {
@@ -49,28 +54,65 @@ pub fn run_campaign(
     interval: Nanos,
     span: Nanos,
 ) -> CampaignRun {
+    run_campaign_hardened(
+        cfg,
+        counters,
+        interval,
+        span,
+        None,
+        RetryPolicy::default(),
+        None,
+    )
+}
+
+/// [`run_campaign`] with the robustness layer armed: an optional
+/// [`FaultPlan`] applied to every counter read, a retry policy for failed
+/// transactions, and optional adaptive degradation under overload.
+pub fn run_campaign_hardened(
+    cfg: ScenarioConfig,
+    counters: Vec<CounterId>,
+    interval: Nanos,
+    span: Nanos,
+    faults: Option<FaultPlan>,
+    retry: RetryPolicy,
+    degradation: Option<DegradationPolicy>,
+) -> CampaignRun {
     let seed = cfg.seed;
     let mut scenario = build_scenario(cfg);
     let warmup = scenario.recommended_warmup();
     scenario.sim.run_until(warmup);
     let campaign = CampaignConfig::group("bench", counters, interval);
-    let poller = Poller::in_memory(
+    let mut poller = Poller::in_memory(
         scenario.counters.clone(),
         AccessModel::default(),
         campaign,
         seed ^ 0x9e37_79b9,
-    );
+    )
+    .expect("bench campaign is well-formed")
+    .with_retry(retry);
+    if let Some(plan) = faults {
+        poller = poller.with_faults(FaultInjector::new(plan));
+    }
+    if let Some(policy) = degradation {
+        poller = poller.with_degradation(policy);
+    }
     let stop = warmup + span;
-    let id = poller.spawn(&mut scenario.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut scenario.sim, warmup, stop)
+        .expect("bench campaign window is non-empty");
     // Slack past the stop so the final in-flight poll completes.
     scenario.sim.run_until(stop + Nanos::from_millis(1));
     let poller_ref = scenario.sim.node_mut::<Poller>(id);
     let poller_stats = poller_ref.stats();
-    let series = poller_ref.take_series();
+    let fault_stats = poller_ref.fault_stats();
+    let degrade_level = poller_ref.degrade_level();
+    let series = poller_ref.take_series().expect("in-memory campaign");
     CampaignRun {
         scenario,
         series,
         poller_stats,
+        fault_stats,
+        degrade_level,
     }
 }
 
@@ -144,8 +186,7 @@ pub fn measure_buffer_and_ports(
     let all_ports: Vec<PortId> = (0..(cfg.n_servers + cfg.clos.n_fabric))
         .map(|i| PortId(i as u16))
         .collect();
-    let mut counters: Vec<CounterId> =
-        all_ports.iter().map(|&p| CounterId::TxBytes(p)).collect();
+    let mut counters: Vec<CounterId> = all_ports.iter().map(|&p| CounterId::TxBytes(p)).collect();
     counters.push(CounterId::BufferPeak);
     let run = run_campaign(cfg, counters, interval, span);
     (run, all_ports)
@@ -160,12 +201,8 @@ mod tests {
     fn single_port_campaign_produces_util_series() {
         let cfg = ScenarioConfig::new(RackType::Web, 42);
         let bps = 10_000_000_000;
-        let (run, port) = measure_single_port(
-            cfg,
-            Some(3),
-            Nanos::from_micros(25),
-            Nanos::from_millis(30),
-        );
+        let (run, port) =
+            measure_single_port(cfg, Some(3), Nanos::from_micros(25), Nanos::from_millis(30));
         assert_eq!(port, PortId(3));
         let util = run.utilization(CounterId::TxBytes(port), bps);
         assert!(util.len() > 800, "only {} samples", util.len());
@@ -178,12 +215,7 @@ mod tests {
     fn port_groups_are_aligned() {
         let cfg = ScenarioConfig::new(RackType::Cache, 7);
         let ports = [PortId(0), PortId(1)];
-        let run = measure_port_groups(
-            cfg,
-            &ports,
-            Nanos::from_micros(100),
-            Nanos::from_millis(20),
-        );
+        let run = measure_port_groups(cfg, &ports, Nanos::from_micros(100), Nanos::from_millis(20));
         let a = run.series_for(CounterId::TxBytes(PortId(0)));
         let b = run.series_for(CounterId::RxBytes(PortId(1)));
         assert_eq!(a.ts, b.ts, "group campaign series share timestamps");
@@ -192,11 +224,8 @@ mod tests {
     #[test]
     fn buffer_campaign_includes_peak() {
         let cfg = ScenarioConfig::new(RackType::Hadoop, 9);
-        let (run, ports) = measure_buffer_and_ports(
-            cfg,
-            Nanos::from_micros(300),
-            Nanos::from_millis(20),
-        );
+        let (run, ports) =
+            measure_buffer_and_ports(cfg, Nanos::from_micros(300), Nanos::from_millis(20));
         assert_eq!(ports.len(), 24 + 4);
         let peak = run.series_for(CounterId::BufferPeak);
         assert!(!peak.is_empty());
@@ -208,12 +237,8 @@ mod tests {
     #[should_panic(expected = "not in campaign")]
     fn missing_counter_panics() {
         let cfg = ScenarioConfig::new(RackType::Web, 1);
-        let (run, _) = measure_single_port(
-            cfg,
-            Some(0),
-            Nanos::from_micros(100),
-            Nanos::from_millis(5),
-        );
+        let (run, _) =
+            measure_single_port(cfg, Some(0), Nanos::from_micros(100), Nanos::from_millis(5));
         run.series_for(CounterId::Drops(PortId(0)));
     }
 }

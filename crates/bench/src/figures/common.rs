@@ -52,8 +52,7 @@ pub fn collect_single_port_utils_spanned(
             cfg.hour = hour;
             let port = representative_port(&cfg);
             let bps = port_bps(&cfg, port);
-            let (run, port) =
-                measure_single_port(cfg, Some(port.0 as usize), interval, span);
+            let (run, port) = measure_single_port(cfg, Some(port.0 as usize), interval, span);
             out.push(PortUtilRun {
                 seed,
                 hour,

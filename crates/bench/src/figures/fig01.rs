@@ -103,8 +103,7 @@ pub fn run(scale: Scale) -> String {
             continue;
         }
         let with_drops = idx.iter().filter(|&&i| drop_rates[i] > 0.0).count();
-        let mean_rate =
-            idx.iter().map(|&i| drop_rates[i]).sum::<f64>() / idx.len() as f64;
+        let mean_rate = idx.iter().map(|&i| drop_rates[i]).sum::<f64>() / idx.len() as f64;
         table.row(&[
             format!("{:.1}-{:.1}", band.0, band.1),
             format!("{}", idx.len()),

@@ -76,8 +76,7 @@ pub fn run(scale: Scale) -> String {
         let end = Nanos(*bytes.ts.last().expect("non-empty"));
         let bw = to_windows(bytes, origin, window, end);
         let dw = to_windows(drops, origin, window, end);
-        let mean_util =
-            bw.iter().map(|w| w.utilization(bps)).sum::<f64>() / bw.len() as f64;
+        let mean_util = bw.iter().map(|w| w.utilization(bps)).sum::<f64>() / bw.len() as f64;
         let total_drops: u64 = dw.iter().map(|w| w.delta).sum();
         let zero_windows = dw.iter().filter(|w| w.delta == 0).count();
         let max_window = dw.iter().map(|w| w.delta).max().unwrap_or(0);

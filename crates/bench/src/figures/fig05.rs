@@ -75,8 +75,7 @@ pub fn run(scale: Scale) -> String {
             // Recover raw counts from the normalized fractions via totals.
             for b in 0..N_SIZE_BINS {
                 inside_acc[b] += (inside.fractions[b] * inside.total as f64).round() as u64;
-                outside_acc[b] +=
-                    (outside.fractions[b] * outside.total as f64).round() as u64;
+                outside_acc[b] += (outside.fractions[b] * outside.total as f64).round() as u64;
             }
         }
         let inside = uburst_analysis::NormalizedHistogram::from_counts(&inside_acc);
@@ -95,13 +94,12 @@ pub fn run(scale: Scale) -> String {
         ]);
         writeln!(hists, "\n{} normalized histograms:", rack_type.name()).unwrap();
         writeln!(hists, "  {:>10}  inside  outside", "bin").unwrap();
-        for b in 0..N_SIZE_BINS {
-            writeln!(
-                hists,
-                "  {:>10}  {:.3}   {:.3}",
-                SIZE_BIN_LABELS[b], inside.fractions[b], outside.fractions[b]
-            )
-            .unwrap();
+        for ((label, fin), fout) in SIZE_BIN_LABELS
+            .iter()
+            .zip(&inside.fractions)
+            .zip(&outside.fractions)
+        {
+            writeln!(hists, "  {label:>10}  {fin:.3}   {fout:.3}").unwrap();
         }
     }
 

@@ -29,7 +29,13 @@ pub fn run(scale: Scale) -> String {
     .unwrap();
 
     let mut table = Table::new(&[
-        "rack", "samples", "mean", "p50", "p99", "hot_frac", "near_100%",
+        "rack",
+        "samples",
+        "mean",
+        "p50",
+        "p99",
+        "hot_frac",
+        "near_100%",
     ]);
     let mut curves = String::new();
     let mut hot_fracs = Vec::new();
@@ -41,8 +47,7 @@ pub fn run(scale: Scale) -> String {
             .iter()
             .flat_map(|r| r.utils.iter().map(|u| u.util.min(1.0)))
             .collect();
-        let hot = utils.iter().filter(|&&u| u > HOT_THRESHOLD).count() as f64
-            / utils.len() as f64;
+        let hot = utils.iter().filter(|&&u| u > HOT_THRESHOLD).count() as f64 / utils.len() as f64;
         let near = utils.iter().filter(|&&u| u > 0.9).count() as f64 / utils.len() as f64;
         let ecdf = Ecdf::new(utils);
         table.row(&[

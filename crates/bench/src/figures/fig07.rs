@@ -23,6 +23,9 @@ use crate::scale::Scale;
 /// MAD CDF evaluation points.
 const MAD_POINTS: [f64; 7] = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5];
 
+/// Maps a port to the counter measured for one traffic direction.
+type DirectionCounter = fn(uburst_sim::node::PortId) -> CounterId;
+
 /// Runs the experiment and renders the report.
 pub fn run(scale: Scale) -> String {
     let interval = Nanos::from_micros(40);
@@ -65,7 +68,7 @@ pub fn run(scale: Scale) -> String {
             .collect();
         let run = measure_port_groups(cfg, &uplinks, interval, scale.campaign_span());
 
-        let directions: [(&str, fn(uburst_sim::node::PortId) -> CounterId); 2] = [
+        let directions: [(&str, DirectionCounter); 2] = [
             ("egress", CounterId::TxBytes),
             ("ingress", CounterId::RxBytes),
         ];
@@ -80,10 +83,8 @@ pub fn run(scale: Scale) -> String {
                 })
                 .collect();
             let fine = mad_per_period(&series);
-            let coarse_series: Vec<Vec<f64>> = series
-                .iter()
-                .map(|s| coarsen(s, coarse_factor))
-                .collect();
+            let coarse_series: Vec<Vec<f64>> =
+                series.iter().map(|s| coarsen(s, coarse_factor)).collect();
             let coarse = mad_per_period(&coarse_series);
             let fine_ecdf = Ecdf::new(fine);
             let coarse_ecdf = Ecdf::new(coarse);

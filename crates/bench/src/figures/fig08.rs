@@ -42,21 +42,23 @@ fn ascii_heatmap(m: &[Vec<f64>]) -> String {
 /// Mean correlation between servers in the same pod-of-4 vs. different
 /// pods.
 fn pod_split(m: &[Vec<f64>], pod_size: usize) -> (f64, f64) {
-    let n = m.len();
     let mut same = (0.0, 0usize);
     let mut cross = (0.0, 0usize);
-    for i in 0..n {
-        for j in (i + 1)..n {
+    for (i, row) in m.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate().skip(i + 1) {
             if i / pod_size == j / pod_size {
-                same.0 += m[i][j];
+                same.0 += v;
                 same.1 += 1;
             } else {
-                cross.0 += m[i][j];
+                cross.0 += v;
                 cross.1 += 1;
             }
         }
     }
-    (same.0 / same.1.max(1) as f64, cross.0 / cross.1.max(1) as f64)
+    (
+        same.0 / same.1.max(1) as f64,
+        cross.0 / cross.1.max(1) as f64,
+    )
 }
 
 /// Runs the experiment and renders the report.

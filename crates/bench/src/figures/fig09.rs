@@ -49,8 +49,7 @@ pub fn run(scale: Scale) -> String {
             let bps: Vec<u64> = (0..(n + cfg.clos.n_fabric))
                 .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
                 .collect();
-            let (run, ports) =
-                measure_buffer_and_ports(cfg, interval, scale.campaign_span());
+            let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
             for (i, &p) in ports.iter().enumerate() {
                 let hot = run
                     .utilization(CounterId::TxBytes(p), bps[i])

@@ -18,6 +18,10 @@ use crate::campaign::{measure_buffer_and_ports, port_bps};
 use crate::report::Table;
 use crate::scale::Scale;
 
+/// One rack type's `(hot-port count, peak occupancy)` pairs plus its port
+/// count, collected before cross-rack normalization.
+type RackOccupancy = (RackType, Vec<(usize, f64)>, usize);
+
 /// Runs the experiment and renders the report.
 pub fn run(scale: Scale) -> String {
     let interval = Nanos::from_micros(300);
@@ -38,7 +42,7 @@ pub fn run(scale: Scale) -> String {
     let mut level_off = Vec::new();
     // Normalize occupancy to the max observed across all rack types, like
     // the paper normalized to the max across its data sets.
-    let mut per_rack: Vec<(RackType, Vec<(usize, f64)>, usize)> = Vec::new();
+    let mut per_rack: Vec<RackOccupancy> = Vec::new();
     let mut global_max = 0.0f64;
 
     for rack_type in RackType::ALL {
@@ -51,8 +55,7 @@ pub fn run(scale: Scale) -> String {
             let bps: Vec<u64> = (0..n_ports)
                 .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
                 .collect();
-            let (run, ports) =
-                measure_buffer_and_ports(cfg, interval, scale.campaign_span());
+            let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
 
             // Per-port hot flags per sampling period.
             let port_utils: Vec<Vec<f64>> = ports
@@ -67,8 +70,7 @@ pub fn run(scale: Scale) -> String {
                 .collect();
             let peaks = run.series_for(CounterId::BufferPeak);
             let n_samples = port_utils[0].len();
-            let samples_per_window =
-                (window.as_nanos() / interval.as_nanos()) as usize;
+            let samples_per_window = (window.as_nanos() / interval.as_nanos()) as usize;
             let n_windows = n_samples / samples_per_window;
             for w in 0..n_windows {
                 let lo = w * samples_per_window;
@@ -80,11 +82,7 @@ pub fn run(scale: Scale) -> String {
                     .count();
                 // Window peak = max of the read-and-clear register's reads.
                 // The peak series has one more sample than the rate series.
-                let peak = peaks.vs[lo + 1..=hi]
-                    .iter()
-                    .copied()
-                    .max()
-                    .unwrap_or(0) as f64;
+                let peak = peaks.vs[lo + 1..=hi].iter().copied().max().unwrap_or(0) as f64;
                 global_max = global_max.max(peak);
                 pairs.push((hot_ports, peak));
             }

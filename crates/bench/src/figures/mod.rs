@@ -19,8 +19,11 @@ pub mod table02;
 
 use crate::scale::Scale;
 
-/// `(id, title, runner)` for every experiment, in paper order.
-pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(Scale) -> String)> {
+/// One experiment's `(id, title, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(Scale) -> String);
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         (
             "fig01",
@@ -28,31 +31,15 @@ pub fn all_experiments() -> Vec<(&'static str, &'static str, fn(Scale) -> String
             fig01::run,
         ),
         ("fig02", "Drop time series on two ports", fig02::run),
-        (
-            "table01",
-            "Sampling interval vs miss rate",
-            table01::run,
-        ),
+        ("table01", "Sampling interval vs miss rate", table01::run),
         ("fig03", "CDF of uburst durations", fig03::run),
         ("table02", "Burst Markov model", table02::run),
         ("fig04", "CDF of inter-burst times", fig04::run),
-        (
-            "fig05",
-            "Packet sizes inside/outside bursts",
-            fig05::run,
-        ),
+        ("fig05", "Packet sizes inside/outside bursts", fig05::run),
         ("fig06", "CDF of link utilization", fig06::run),
         ("fig07", "Uplink load balance (MAD)", fig07::run),
-        (
-            "fig08",
-            "Server-to-server correlation heatmaps",
-            fig08::run,
-        ),
+        ("fig08", "Server-to-server correlation heatmaps", fig08::run),
         ("fig09", "Directionality of bursts", fig09::run),
-        (
-            "fig10",
-            "Shared-buffer occupancy vs hot ports",
-            fig10::run,
-        ),
+        ("fig10", "Shared-buffer occupancy vs hot ports", fig10::run),
     ]
 }

@@ -77,8 +77,7 @@ pub fn run(scale: Scale) -> String {
         probe_duration: duration,
         ..TuningConfig::default()
     };
-    let peak_tuned =
-        tune_min_interval(&[CounterId::BufferPeak], access, &peak_tuning).min_interval;
+    let peak_tuned = tune_min_interval(&[CounterId::BufferPeak], access, &peak_tuning).min_interval;
     tune_table.row(&[
         "buffer peak register".into(),
         format!("{peak_tuned}"),
@@ -113,13 +112,11 @@ pub fn run(scale: Scale) -> String {
         ),
         (
             format!("byte counter tunes near 25us ({byte_tuned})"),
-            (Nanos::from_micros(15)..=Nanos::from_micros(45))
-                .contains(&byte_tuned),
+            (Nanos::from_micros(15)..=Nanos::from_micros(45)).contains(&byte_tuned),
         ),
         (
             format!("peak register tunes near 50us ({peak_tuned})"),
-            (Nanos::from_micros(45)..=Nanos::from_micros(95))
-                .contains(&peak_tuned),
+            (Nanos::from_micros(45)..=Nanos::from_micros(95)).contains(&peak_tuned),
         ),
         (
             format!("grouped counters stay sublinear ({group_tuned} << 4x25us)"),

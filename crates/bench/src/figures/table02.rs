@@ -33,7 +33,13 @@ pub fn run(scale: Scale) -> String {
     .unwrap();
 
     let mut table = Table::new(&[
-        "rack", "p(1|0)", "p(0|0)", "p(1|1)", "p(0|1)", "r=p11/p01", "paper_r",
+        "rack",
+        "p(1|0)",
+        "p(0|0)",
+        "p(1|1)",
+        "p(0|1)",
+        "r=p11/p01",
+        "paper_r",
     ]);
     let mut measured = Vec::new();
 

@@ -1,7 +1,7 @@
 //! # uburst-bench — experiment harnesses
 //!
 //! Shared machinery for the per-figure/table reproduction binaries (see
-//! `src/bin/`) and the Criterion benchmarks (see `benches/`). Each binary
+//! `src/bin/`) and the performance benchmarks (see `benches/`). Each binary
 //! rebuilds one table or figure from the paper by running measured-rack
 //! scenarios, attaching the collection framework, and printing the same
 //! rows/series the paper reports.
@@ -19,7 +19,7 @@ pub mod scale;
 
 pub use campaign::{
     measure_buffer_and_ports, measure_port_groups, measure_single_port, port_bps,
-    representative_port, CampaignRun,
+    representative_port, run_campaign_hardened, CampaignRun,
 };
 pub use report::{fmt_bytes, fmt_fraction, print_cdf_table, Table};
 pub use scale::Scale;

@@ -131,10 +131,7 @@ mod tests {
     use uburst_sim::node::PortId;
 
     fn counters() -> Vec<CounterId> {
-        vec![
-            CounterId::TxBytes(PortId(0)),
-            CounterId::TxBytes(PortId(1)),
-        ]
+        vec![CounterId::TxBytes(PortId(0)), CounterId::TxBytes(PortId(1))]
     }
 
     #[test]

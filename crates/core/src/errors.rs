@@ -1,0 +1,105 @@
+//! Typed errors for the collection pipeline.
+//!
+//! The pipeline is a best-effort production service (§4.1): misconfiguration
+//! and partial failure must surface as values the caller can route, log, or
+//! degrade on — never as panics that would take the switch CPU's sampling
+//! loop (or the collector tier) down with them.
+
+use std::fmt;
+
+use uburst_sim::time::Nanos;
+
+/// Errors raised while configuring or running a [`crate::Poller`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollError {
+    /// The campaign polls no counters.
+    EmptyCampaign,
+    /// The campaign's target interval is zero.
+    ZeroInterval,
+    /// `spawn` was asked for a campaign window with `stop <= start`.
+    EmptyWindow {
+        /// Requested campaign start.
+        start: Nanos,
+        /// Requested campaign stop.
+        stop: Nanos,
+    },
+    /// A result accessor needed a [`crate::MemorySink`] output, but the
+    /// poller ships to a channel (or a custom sink).
+    NotMemorySink,
+}
+
+impl fmt::Display for PollError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PollError::EmptyCampaign => write!(f, "campaign with no counters"),
+            PollError::ZeroInterval => write!(f, "zero sampling interval"),
+            PollError::EmptyWindow { start, stop } => {
+                write!(f, "empty campaign window [{start}, {stop})")
+            }
+            PollError::NotMemorySink => {
+                write!(f, "poller output is not a MemorySink")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PollError {}
+
+/// Errors raised while starting or stopping a [`crate::Collector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollectorError {
+    /// `start` was asked for a pool of zero workers.
+    NoWorkers,
+    /// `start` was asked for a zero-capacity batch queue.
+    ZeroCapacity,
+    /// The OS refused to spawn a worker thread.
+    Spawn(String),
+    /// A worker could not be joined at shutdown. Contained panics inside
+    /// the ingest loop do **not** produce this — the supervisor absorbs
+    /// those and restarts the worker; this is the outer join failing.
+    WorkerLost {
+        /// Index of the unjoinable worker.
+        worker: usize,
+    },
+}
+
+impl fmt::Display for CollectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectorError::NoWorkers => write!(f, "collector needs at least one worker"),
+            CollectorError::ZeroCapacity => {
+                write!(f, "collector queue needs nonzero capacity")
+            }
+            CollectorError::Spawn(e) => write!(f, "failed to spawn collector worker: {e}"),
+            CollectorError::WorkerLost { worker } => {
+                write!(f, "collector worker {worker} could not be joined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usefully() {
+        assert_eq!(
+            PollError::EmptyCampaign.to_string(),
+            "campaign with no counters"
+        );
+        let e = PollError::EmptyWindow {
+            start: Nanos::from_micros(5),
+            stop: Nanos::from_micros(5),
+        };
+        assert!(e.to_string().contains("empty campaign window"));
+        assert!(CollectorError::Spawn("nope".into())
+            .to_string()
+            .contains("nope"));
+        assert!(CollectorError::WorkerLost { worker: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

@@ -6,33 +6,48 @@
 //!
 //! * [`poller`] — the best-effort sampling loop, run on a modeled switch CPU
 //!   inside the simulation, paying real (simulated) time per counter read
-//!   and suffering kernel-jitter-induced missed intervals;
+//!   and suffering kernel-jitter-induced missed intervals; failed reads are
+//!   retried with bounded exponential backoff and narrow counters are
+//!   wrap-decoded to full width;
+//! * [`degrade`] — the adaptive controller that sheds counters or stretches
+//!   the interval when the loop cannot keep up, and recovers when it can;
+//! * [`errors`] — typed [`PollError`] / [`CollectorError`] values for every
+//!   configuration and runtime failure the pipeline can surface;
 //! * [`spec`] — measurement campaigns and the dedicated vs. shared core
 //!   timing model;
 //! * [`tuning`] — automated minimum-interval search at a target sampling
 //!   loss (the paper's manual Table 1 procedure);
-//! * [`batch`] / [`output`] — sample batching toward the collector;
+//! * [`batch`] / [`output`] — sample batching toward the collector, with
+//!   block/drop-oldest/drop-newest shipping policies and per-source loss
+//!   accounting;
+//! * [`channel`] — the in-repo bounded MPMC channel the shipping path and
+//!   collector share;
 //! * [`collector`] / [`store`] — the (actually multithreaded) collector
-//!   service and its sample store, with CSV export;
-//! * [`series`] — timestamped cumulative-counter series and the
-//!   delta-to-rate/utilization conversions the analyses build on.
+//!   service — supervised workers that contain and survive panics — and its
+//!   sample store, which quarantines malformed batches and exports CSV;
+//! * [`series`] — timestamped cumulative-counter series, wrap-aware
+//!   decoding, and the delta-to-rate/utilization conversions the analyses
+//!   build on.
 //!
 //! ## End-to-end shape
 //!
 //! ```text
 //! Switch (uburst-sim) ──writes──► AsicCounters (uburst-asic)
-//!                                     ▲ reads (AccessModel cost)
+//!                                     ▲ reads (AccessModel cost, faults)
 //!                               Poller (this crate, simulated CPU)
-//!                                     │ Batcher
+//!                                     │ Batcher + ShipPolicy
 //!                                     ▼
-//!                      crossbeam channel ──► Collector threads ──► SampleStore
+//!                      bounded channel ──► supervised Collector ──► SampleStore
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod channel;
 pub mod collector;
+pub mod degrade;
+pub mod errors;
 pub mod output;
 pub mod poller;
 pub mod series;
@@ -41,10 +56,16 @@ pub mod store;
 pub mod tuning;
 
 pub use batch::{Batch, BatchPolicy, Batcher, SourceId};
-pub use collector::Collector;
-pub use output::{ChannelSink, MemorySink, SampleOutput};
-pub use poller::{Poller, PollerStats};
-pub use series::{RateSample, Series, UtilSample};
+pub use collector::{Collector, CollectorHealth, CollectorReport};
+pub use degrade::{DegradationController, DegradationPolicy, DegradeMode};
+pub use errors::{CollectorError, PollError};
+pub use output::{ChannelSink, MemorySink, SampleOutput, ShipPolicy};
+pub use poller::{Poller, PollerStats, RetryPolicy};
+pub use series::{RateSample, Series, UtilSample, WrapDecoder};
 pub use spec::{CampaignConfig, CoreMode};
-pub use store::{counter_label, parse_counter_label, SampleStore, SeriesKey};
-pub use tuning::{probe_loss_profile, probe_miss_fraction, tune_min_interval, TuningConfig, TuningResult};
+pub use store::{
+    counter_label, parse_counter_label, QuarantineReason, SampleStore, SeriesKey, StoreStats,
+};
+pub use tuning::{
+    probe_loss_profile, probe_miss_fraction, tune_min_interval, TuningConfig, TuningResult,
+};

@@ -3,14 +3,20 @@
 //! The poller is generic over a [`SampleOutput`]: analysis harnesses keep
 //! samples in memory ([`MemorySink`]); fleet deployments batch them onto a
 //! channel toward the collector service ([`ChannelSink`]).
+//!
+//! Shipping is governed by a [`ShipPolicy`]: block on a full queue (lossless
+//! backpressure, the default), or shed batches — oldest-first or
+//! newest-first — when the switch CPU must never stall behind a slow
+//! collector. Every shed batch is counted per source, so loss is visible
+//! instead of silently biasing the distributions under study.
 
 use std::any::Any;
 
-use crossbeam::channel::Sender;
 use uburst_asic::CounterId;
 use uburst_sim::time::Nanos;
 
 use crate::batch::{Batch, BatchPolicy, Batcher, SourceId};
+use crate::channel::Sender;
 use crate::series::Series;
 
 /// Consumes one poll record at a time. Values are aligned with the
@@ -83,18 +89,39 @@ impl SampleOutput for MemorySink {
     }
 }
 
+/// What to do when the collector's batch queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShipPolicy {
+    /// Block until there is room: lossless, at the cost of backpressure
+    /// into the shipping path (never the sampling loop itself, which runs
+    /// in simulated time).
+    #[default]
+    Block,
+    /// Evict the oldest queued batch to make room — keep the freshest data
+    /// flowing, lose the stalest.
+    DropOldest,
+    /// Drop the batch being shipped — preserve what is queued, lose the
+    /// newest.
+    DropNewest,
+}
+
 /// Batches samples and ships them over a channel to the collector service.
 ///
-/// Sends block when the channel is full: backpressure from the collector
-/// slows the shipping path, never drops data (drops would silently bias the
-/// distributions under study).
+/// Under [`ShipPolicy::Block`] a full channel applies backpressure and
+/// nothing is lost. The two `Drop*` policies shed batches instead; the sink
+/// counts every batch it loses ([`ChannelSink::dropped_batches`]), including
+/// tail batches lost to a collector that shut down early.
 pub struct ChannelSink {
     batcher: Batcher,
     tx: Sender<Batch>,
+    policy: ShipPolicy,
+    shipped: u64,
+    dropped: u64,
 }
 
 impl ChannelSink {
-    /// A sink for `source`'s campaign, shipping into `tx`.
+    /// A sink for `source`'s campaign, shipping into `tx` with lossless
+    /// blocking ([`ShipPolicy::Block`]).
     pub fn new(
         source: SourceId,
         campaign: impl Into<std::sync::Arc<str>>,
@@ -105,15 +132,52 @@ impl ChannelSink {
         ChannelSink {
             batcher: Batcher::new(source, campaign, counters, policy),
             tx,
+            policy: ShipPolicy::Block,
+            shipped: 0,
+            dropped: 0,
         }
     }
 
-    fn ship(&self, batches: Vec<Batch>) {
+    /// Sets the full-queue policy.
+    pub fn with_ship_policy(mut self, policy: ShipPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Batches successfully handed to the channel.
+    pub fn shipped_batches(&self) -> u64 {
+        self.shipped
+    }
+
+    /// Batches lost: shed by the ship policy, evicted from the queue, or
+    /// unsendable because the collector disconnected.
+    pub fn dropped_batches(&self) -> u64 {
+        self.dropped
+    }
+
+    fn ship(&mut self, batches: Vec<Batch>) {
         for b in batches {
-            // A disconnected collector means shutdown raced the campaign;
-            // losing tail samples then is acceptable and must not panic the
-            // simulation.
-            let _ = self.tx.send(b);
+            match self.policy {
+                ShipPolicy::Block => match self.tx.send(b) {
+                    Ok(()) => self.shipped += 1,
+                    // A disconnected collector means shutdown raced the
+                    // campaign; tail samples are lost — counted, not fatal.
+                    Err(_) => self.dropped += 1,
+                },
+                ShipPolicy::DropOldest => match self.tx.force_send(b) {
+                    Ok(None) => self.shipped += 1,
+                    Ok(Some(_evicted)) => {
+                        // Ours got in; a previously shipped batch fell out.
+                        self.shipped += 1;
+                        self.dropped += 1;
+                    }
+                    Err(_) => self.dropped += 1,
+                },
+                ShipPolicy::DropNewest => match self.tx.try_send(b) {
+                    Ok(()) => self.shipped += 1,
+                    Err(_) => self.dropped += 1,
+                },
+            }
         }
     }
 }
@@ -140,6 +204,7 @@ impl SampleOutput for ChannelSink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel;
     use uburst_sim::node::PortId;
 
     #[test]
@@ -161,7 +226,7 @@ mod tests {
 
     #[test]
     fn channel_sink_ships_batches_and_tail() {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        let (tx, rx) = channel::unbounded();
         let c = CounterId::TxBytes(PortId(3));
         let mut sink = ChannelSink::new(
             SourceId(9),
@@ -177,6 +242,8 @@ mod tests {
         sink.record(Nanos(2), &[2]); // flush at 2 samples
         sink.record(Nanos(3), &[3]);
         sink.finish(); // tail flush
+        assert_eq!(sink.shipped_batches(), 2);
+        assert_eq!(sink.dropped_batches(), 0);
         drop(sink);
         let batches: Vec<Batch> = rx.iter().collect();
         assert_eq!(batches.len(), 2);
@@ -189,7 +256,7 @@ mod tests {
 
     #[test]
     fn channel_sink_survives_disconnected_collector() {
-        let (tx, rx) = crossbeam::channel::bounded(1);
+        let (tx, rx) = channel::bounded(1);
         drop(rx);
         let c = CounterId::TxBytes(PortId(0));
         let mut sink = ChannelSink::new(
@@ -204,5 +271,63 @@ mod tests {
         );
         sink.record(Nanos(1), &[1]); // must not panic
         sink.finish();
+        assert_eq!(sink.dropped_batches(), 1, "tail loss is accounted");
+    }
+
+    fn one_sample_sink(policy: ShipPolicy, tx: Sender<Batch>) -> ChannelSink {
+        ChannelSink::new(
+            SourceId(0),
+            "camp",
+            vec![CounterId::TxBytes(PortId(0))],
+            BatchPolicy {
+                max_samples: 1,
+                max_age: Nanos::from_secs(100),
+            },
+            tx,
+        )
+        .with_ship_policy(policy)
+    }
+
+    #[test]
+    fn drop_oldest_keeps_freshest_batches() {
+        let (tx, rx) = channel::bounded(2);
+        let mut sink = one_sample_sink(ShipPolicy::DropOldest, tx);
+        for i in 1..=5u64 {
+            sink.record(Nanos(i), &[i]);
+        }
+        assert_eq!(sink.shipped_batches(), 5);
+        assert_eq!(sink.dropped_batches(), 3);
+        drop(sink);
+        let got: Vec<u64> = rx.iter().map(|b| b.samples.vs[0]).collect();
+        assert_eq!(got, vec![4, 5], "the freshest two survive");
+    }
+
+    #[test]
+    fn drop_newest_keeps_earliest_batches() {
+        let (tx, rx) = channel::bounded(2);
+        let mut sink = one_sample_sink(ShipPolicy::DropNewest, tx);
+        for i in 1..=5u64 {
+            sink.record(Nanos(i), &[i]);
+        }
+        assert_eq!(sink.shipped_batches(), 2);
+        assert_eq!(sink.dropped_batches(), 3);
+        drop(sink);
+        let got: Vec<u64> = rx.iter().map(|b| b.samples.vs[0]).collect();
+        assert_eq!(got, vec![1, 2], "what was queued first survives");
+    }
+
+    #[test]
+    fn accounting_identity_shipped_plus_dropped() {
+        let (tx, rx) = channel::bounded(1);
+        let mut sink = one_sample_sink(ShipPolicy::DropNewest, tx);
+        for i in 1..=10u64 {
+            sink.record(Nanos(i), &[i]);
+        }
+        sink.finish();
+        let shipped = sink.shipped_batches();
+        let dropped = sink.dropped_batches();
+        assert_eq!(shipped + dropped, 10, "every batch accounted exactly once");
+        drop(sink);
+        assert_eq!(rx.iter().count() as u64, shipped);
     }
 }

@@ -12,6 +12,28 @@
 //! The poller is a simulation [`Node`]: it runs on simulated time inside the
 //! switch, exactly like the real framework runs on the switch CPU.
 //!
+//! ## Fault tolerance
+//!
+//! Reads can fail: with a [`FaultInjector`] attached
+//! ([`Poller::with_faults`]), bus transactions time out, spike in latency,
+//! or return stale values, and counters wrap at the register width. The
+//! loop answers with
+//!
+//! * **bounded-exponential-backoff retries** in simulated time
+//!   ([`RetryPolicy`]): a failed transaction is retried after
+//!   `min(base · 2^k, cap)`, at most `max_retries` times per deadline,
+//!   after which the deadline is abandoned (accounted, never fatal);
+//! * **wrap-aware decoding** ([`crate::series::WrapDecoder`]): narrow
+//!   cumulative counters are reconstructed to full width before recording,
+//!   so downstream rate math never sees a wrap;
+//! * **adaptive degradation** ([`DegradationPolicy`]): when the windowed
+//!   deadline-miss fraction exceeds a watermark the loop sheds low-priority
+//!   counters or stretches the interval, recovering when pressure subsides.
+//!
+//! Every fault response is accounted in [`PollerStats`]:
+//! `read_errors = retries + abandoned_polls()`, and each shed counter-read
+//! increments `shed_counters`.
+//!
 //! ## Missed-interval metrics (Table 1)
 //!
 //! Two complementary fractions describe sampling loss:
@@ -26,20 +48,57 @@
 use std::any::Any;
 use std::rc::Rc;
 
-use uburst_asic::{AccessModel, AsicCounters};
+use uburst_asic::{AccessModel, AsicCounters, FaultInjector, FaultStats};
 use uburst_sim::node::{Ctx, Node, NodeId, PortId};
 use uburst_sim::packet::Packet;
 use uburst_sim::rng::Rng;
 use uburst_sim::sim::Simulator;
 use uburst_sim::time::Nanos;
 
+use crate::degrade::{DegradationController, DegradationPolicy};
+use crate::errors::PollError;
 use crate::output::{MemorySink, SampleOutput};
+use crate::series::WrapDecoder;
 use crate::spec::{CampaignConfig, CoreMode};
 
 /// Timer token: a deadline arrived, begin a poll.
 const TOKEN_POLL_START: u64 = 0x504f_4c4c_5354_4152; // "POLLSTAR"
 /// Timer token: the in-progress poll's bus transaction completed.
 const TOKEN_POLL_DONE: u64 = 0x504f_4c4c_444f_4e45; // "POLLDONE"
+/// Timer token: retry a failed read after its backoff.
+const TOKEN_POLL_RETRY: u64 = 0x504f_4c4c_5254_5259; // "POLLRTRY"
+
+/// Bounded exponential backoff for failed counter reads, in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per deadline before the poll is abandoned.
+    pub max_retries: u32,
+    /// Wait before the first retry.
+    pub backoff_base: Nanos,
+    /// Backoff ceiling (`min(base · 2^k, cap)`).
+    pub backoff_cap: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base: Nanos(2_000),
+            backoff_cap: Nanos(50_000),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The wait before retry number `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Nanos {
+        let shifted = self
+            .backoff_base
+            .as_nanos()
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        Nanos(shifted).min(self.backoff_cap)
+    }
+}
 
 /// Counters of the sampling loop's own behaviour.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,12 +110,24 @@ pub struct PollerStats {
     /// Polls whose sample landed after their own interval had already
     /// elapsed (the interval got a sample, but not on schedule).
     pub late_polls: u64,
-    /// Total CPU time spent inside poll transactions.
+    /// Total CPU time spent inside poll transactions (including failed
+    /// ones; backoff waits are idle time, not busy time).
     pub busy: Nanos,
     /// When the campaign started.
     pub started_at: Nanos,
     /// When the campaign stopped (valid once finished).
     pub stopped_at: Nanos,
+    /// Read transactions that failed (bus timeouts).
+    pub read_errors: u64,
+    /// Failed transactions that were retried after backoff.
+    pub retries: u64,
+    /// Counter values served stale by the hardware (injector-detected).
+    pub stale_reads: u64,
+    /// Counter-reads skipped by adaptive shedding (one per shed counter per
+    /// poll; the sink carries the last known value forward).
+    pub shed_counters: u64,
+    /// Polls taken at a degradation level above zero.
+    pub degraded_polls: u64,
 }
 
 impl PollerStats {
@@ -85,6 +156,14 @@ impl PollerStats {
         }
     }
 
+    /// Deadlines abandoned after exhausting every retry. Every failed read
+    /// either led to a retry or abandoned its deadline, so this is exactly
+    /// `read_errors - retries` — the accounting identity the
+    /// fault-tolerance harness checks.
+    pub fn abandoned_polls(&self) -> u64 {
+        self.read_errors - self.retries
+    }
+
     /// CPU consumed by the sampling loop. A dedicated core busy-waits, so it
     /// burns the whole core regardless of polling work; a shared core only
     /// accounts the transactions themselves.
@@ -110,11 +189,23 @@ pub struct Poller {
     campaign: CampaignConfig,
     rng: Rng,
     output: Box<dyn SampleOutput>,
+    faults: Option<FaultInjector>,
+    retry: RetryPolicy,
+    controller: DegradationController,
+    /// Wrap decoder per campaign counter (`None` for gauges, which do not
+    /// accumulate and therefore never wrap meaningfully).
+    decoders: Vec<Option<WrapDecoder>>,
+    /// Last recorded (decoded) value per counter, carried forward for shed
+    /// counters so the sink's schema stays aligned.
+    last_values: Vec<u64>,
     /// The deadline the in-progress/most recent poll was serving.
     deadline: Nanos,
     stop_at: Nanos,
     stats: PollerStats,
-    values_buf: Vec<u64>,
+    /// Read attempt number for the current deadline (0 = first try).
+    attempt: u32,
+    /// Counters active for the in-flight poll (prefix of the campaign list).
+    active_n: usize,
     finished: bool,
 }
 
@@ -126,22 +217,32 @@ impl Poller {
         campaign: CampaignConfig,
         seed: u64,
         output: Box<dyn SampleOutput>,
-    ) -> Self {
+    ) -> Result<Self, PollError> {
         let n = campaign.counters.len();
-        assert!(n > 0, "campaign with no counters");
-        assert!(!campaign.interval.is_zero(), "zero sampling interval");
-        Poller {
+        if n == 0 {
+            return Err(PollError::EmptyCampaign);
+        }
+        if campaign.interval.is_zero() {
+            return Err(PollError::ZeroInterval);
+        }
+        Ok(Poller {
             bank,
             access,
             campaign,
             rng: Rng::new(seed),
             output,
+            faults: None,
+            retry: RetryPolicy::default(),
+            controller: DegradationController::new(DegradationPolicy::default()),
+            decoders: vec![None; n],
+            last_values: vec![0; n],
             deadline: Nanos::ZERO,
             stop_at: Nanos::MAX,
             stats: PollerStats::default(),
-            values_buf: vec![0; n],
+            attempt: 0,
+            active_n: n,
             finished: false,
-        }
+        })
     }
 
     /// Convenience: a poller recording into a [`MemorySink`].
@@ -150,26 +251,68 @@ impl Poller {
         access: AccessModel,
         campaign: CampaignConfig,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, PollError> {
         let sink = MemorySink::new(campaign.counters.clone());
         Self::new(bank, access, campaign, seed, Box::new(sink))
     }
 
+    /// Attaches a fault injector. Wrap decoders are armed for every
+    /// cumulative counter at the plan's register width, so recorded series
+    /// stay full-width even on 32-bit banks.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        let bits = injector.plan().counter_bits;
+        for (slot, &id) in self.decoders.iter_mut().zip(&self.campaign.counters) {
+            *slot = id.is_cumulative().then(|| WrapDecoder::new(bits));
+        }
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the retry/backoff policy for failed reads.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms adaptive degradation (shed counters or stretch the interval
+    /// under sustained deadline pressure).
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.controller = DegradationController::new(policy);
+        self
+    }
+
     /// Adds the poller to the simulation and schedules its campaign over
     /// `[start, stop)`. Returns its node id.
-    pub fn spawn(mut self, sim: &mut Simulator, start: Nanos, stop: Nanos) -> NodeId {
-        assert!(stop > start, "empty campaign window");
+    pub fn spawn(
+        mut self,
+        sim: &mut Simulator,
+        start: Nanos,
+        stop: Nanos,
+    ) -> Result<NodeId, PollError> {
+        if stop <= start {
+            return Err(PollError::EmptyWindow { start, stop });
+        }
         self.deadline = start;
         self.stop_at = stop;
         self.stats.started_at = start;
         let id = sim.add_node(Box::new(self));
         sim.schedule_timer(start, id, TOKEN_POLL_START);
-        id
+        Ok(id)
     }
 
     /// Loop statistics.
     pub fn stats(&self) -> PollerStats {
         self.stats
+    }
+
+    /// Fault-injection statistics, when an injector is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// The current adaptive-degradation level (0 = full fidelity).
+    pub fn degrade_level(&self) -> u32 {
+        self.controller.level()
     }
 
     /// The campaign being run.
@@ -187,17 +330,61 @@ impl Poller {
         self.output.as_mut()
     }
 
-    /// Takes the memory sink's series out (panics for channel outputs).
-    pub fn take_series(&mut self) -> Vec<(uburst_asic::CounterId, crate::series::Series)> {
+    /// Takes the memory sink's series out; fails for channel outputs.
+    pub fn take_series(
+        &mut self,
+    ) -> Result<Vec<(uburst_asic::CounterId, crate::series::Series)>, PollError> {
         self.output
             .as_any_mut()
             .downcast_mut::<MemorySink>()
-            .expect("poller output is not a MemorySink")
-            .take_all()
+            .map(MemorySink::take_all)
+            .ok_or(PollError::NotMemorySink)
+    }
+
+    /// The effective deadline spacing at the current degradation level.
+    fn effective_interval(&self) -> Nanos {
+        self.campaign.interval * self.controller.interval_multiplier()
     }
 
     fn begin_poll(&mut self, ctx: &mut Ctx<'_>) {
-        let work = self.access.poll_cost(&self.campaign.counters);
+        self.attempt = 0;
+        self.active_n = self
+            .controller
+            .active_counters(self.campaign.counters.len());
+        self.start_attempt(ctx);
+    }
+
+    /// One read transaction: consult the injector, then either schedule the
+    /// completion, a backed-off retry, or abandon the deadline.
+    fn start_attempt(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(faults) = self.faults.as_mut() {
+            match faults.pre_read() {
+                Err(fault) => {
+                    let cost = fault.cost();
+                    self.stats.read_errors += 1;
+                    self.stats.busy += cost;
+                    if self.attempt < self.retry.max_retries {
+                        let backoff = self.retry.backoff(self.attempt);
+                        self.attempt += 1;
+                        self.stats.retries += 1;
+                        ctx.timer_in(cost + backoff, TOKEN_POLL_RETRY);
+                    } else {
+                        // Out of retries: this deadline is abandoned. The
+                        // campaign itself survives — schedule the next one.
+                        self.abandon_poll(ctx, cost);
+                    }
+                    return;
+                }
+                Ok(extra) => {
+                    let work = self.access.poll_cost(self.active_counters()) + extra;
+                    let jitter = self.campaign.core_mode.sample_jitter(&mut self.rng);
+                    self.stats.busy += work;
+                    ctx.timer_in(work + jitter, TOKEN_POLL_DONE);
+                    return;
+                }
+            }
+        }
+        let work = self.access.poll_cost(self.active_counters());
         let jitter = self.campaign.core_mode.sample_jitter(&mut self.rng);
         // Only the bus transaction is *our* CPU time; jitter is time stolen
         // by the kernel / other work, which delays completion but is not
@@ -206,26 +393,68 @@ impl Poller {
         ctx.timer_in(work + jitter, TOKEN_POLL_DONE);
     }
 
+    fn active_counters(&self) -> &[uburst_asic::CounterId] {
+        &self.campaign.counters[..self.active_n]
+    }
+
     fn complete_poll(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         // Snapshot the counters with the *actual* read time, not the
         // deadline: "we still capture ... the correct timestamp" (Table 1).
-        for (slot, &id) in self.values_buf.iter_mut().zip(&self.campaign.counters) {
-            *slot = self.bank.read(id);
+        let shed = self.campaign.counters.len() - self.active_n;
+        for i in 0..self.campaign.counters.len() {
+            if i >= self.active_n {
+                // Shed counter: the sink keeps schema alignment by carrying
+                // the last decoded value forward; no bytes are lost because
+                // the counter is cumulative and the next real read catches
+                // up the delta.
+                continue;
+            }
+            let id = self.campaign.counters[i];
+            let mut v = self.bank.read(id);
+            if let Some(faults) = self.faults.as_mut() {
+                v = faults.filter_value(id, v);
+            }
+            if let Some(dec) = self.decoders[i].as_mut() {
+                v = dec.decode(v);
+            }
+            self.last_values[i] = v;
         }
-        self.output.record(now, &self.values_buf);
+        self.output.record(now, &self.last_values);
         self.stats.polls += 1;
-        if now > self.deadline + self.campaign.interval {
+        self.stats.shed_counters += shed as u64;
+        if self.controller.level() > 0 {
+            self.stats.degraded_polls += 1;
+        }
+        if let Some(faults) = self.faults.as_ref() {
+            self.stats.stale_reads = faults.stats().stale_values;
+        }
+        let interval = self.effective_interval();
+        if now > self.deadline + interval {
             // The sample landed after its own interval had elapsed.
             self.stats.late_polls += 1;
         }
+        self.controller.observe(false);
+        self.advance_deadline(ctx, now);
+    }
 
-        // Advance to the next unexpired deadline; every one we skip was
-        // missed because this poll was still running when it arrived.
-        let mut next = self.deadline + self.campaign.interval;
+    /// A deadline whose read failed through every retry: account it and
+    /// keep the schedule moving.
+    fn abandon_poll(&mut self, ctx: &mut Ctx<'_>, final_cost: Nanos) {
+        let now = ctx.now() + final_cost;
+        self.controller.observe(true);
+        self.advance_deadline(ctx, now);
+    }
+
+    /// Advances to the next unexpired deadline; every one skipped was
+    /// missed because this poll was still running when it arrived.
+    fn advance_deadline(&mut self, ctx: &mut Ctx<'_>, now: Nanos) {
+        let interval = self.effective_interval();
+        let mut next = self.deadline + interval;
         while next <= now {
             self.stats.missed_deadlines += 1;
-            next += self.campaign.interval;
+            self.controller.observe(true);
+            next += interval;
         }
         if next >= self.stop_at {
             self.stats.stopped_at = now;
@@ -246,6 +475,7 @@ impl Node for Poller {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         match token {
             TOKEN_POLL_START => self.begin_poll(ctx),
+            TOKEN_POLL_RETRY => self.start_attempt(ctx),
             TOKEN_POLL_DONE => self.complete_poll(ctx),
             other => debug_assert!(false, "unknown poller token {other:#x}"),
         }
@@ -262,25 +492,22 @@ impl Node for Poller {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uburst_asic::CounterId;
+    use crate::degrade::DegradeMode;
+    use uburst_asic::{CounterId, FaultPlan};
     use uburst_sim::counters::CounterSink;
 
     fn run_campaign(interval: Nanos, span: Nanos, mode: CoreMode) -> (PollerStats, usize) {
         let mut sim = Simulator::new();
         let bank = AsicCounters::new_shared(4);
-        let mut campaign = CampaignConfig::single(
-            "bytes",
-            CounterId::TxBytes(PortId(0)),
-            interval,
-        );
+        let mut campaign = CampaignConfig::single("bytes", CounterId::TxBytes(PortId(0)), interval);
         campaign.core_mode = mode;
-        let poller = Poller::in_memory(bank.clone(), AccessModel::default(), campaign, 42);
-        let id = poller.spawn(&mut sim, Nanos::ZERO, span);
+        let poller = Poller::in_memory(bank.clone(), AccessModel::default(), campaign, 42).unwrap();
+        let id = poller.spawn(&mut sim, Nanos::ZERO, span).unwrap();
         sim.run_until(Nanos::MAX);
         let p = sim.node_mut::<Poller>(id);
         assert!(p.is_finished());
         let stats = p.stats();
-        let n = p.take_series()[0].1.len();
+        let n = p.take_series().unwrap()[0].1.len();
         (stats, n)
     }
 
@@ -395,10 +622,13 @@ mod tests {
                 Nanos::from_micros(25),
             ),
             7,
-        );
-        let id = poller.spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(5));
+        )
+        .unwrap();
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(5))
+            .unwrap();
         sim.run_until(Nanos::MAX);
-        let series = &sim.node_mut::<Poller>(id).take_series()[0].1;
+        let series = &sim.node_mut::<Poller>(id).take_series().unwrap()[0].1;
         assert!(series.vs.windows(2).all(|w| w[1] >= w[0]), "cumulative");
         assert_eq!(*series.vs.last().unwrap(), 100_000);
         // Timestamps strictly increase.
@@ -409,19 +639,254 @@ mod tests {
     fn multi_counter_campaign_polls_slower_but_still_works() {
         let mut sim = Simulator::new();
         let bank = AsicCounters::new_shared(4);
-        let counters: Vec<CounterId> =
-            (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
+        let counters: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
         let campaign = CampaignConfig::group("all-uplinks", counters, Nanos::from_micros(40));
-        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 3);
-        let id = poller.spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(100));
+        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 3).unwrap();
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(100))
+            .unwrap();
         sim.run_until(Nanos::MAX);
         let p = sim.node_mut::<Poller>(id);
         let f = p.stats().deadline_miss_fraction();
         // 4 registers batched ≈ 4.7us deterministic; 40us interval is easy.
         assert!(f < 0.2, "multi-counter 40us miss fraction {f}");
-        let series = p.take_series();
+        let series = p.take_series().unwrap();
         assert_eq!(series.len(), 4);
         let n0 = series[0].1.len();
         assert!(series.iter().all(|(_, s)| s.len() == n0), "aligned series");
+    }
+
+    #[test]
+    fn constructor_surfaces_typed_errors() {
+        let bank = AsicCounters::new_shared(1);
+        let mut empty =
+            CampaignConfig::single("x", CounterId::TxBytes(PortId(0)), Nanos::from_micros(25));
+        empty.counters.clear();
+        assert_eq!(
+            Poller::in_memory(bank.clone(), AccessModel::default(), empty, 0)
+                .err()
+                .expect("empty campaign must be rejected"),
+            PollError::EmptyCampaign
+        );
+        let zero = CampaignConfig::single("x", CounterId::TxBytes(PortId(0)), Nanos::ZERO);
+        assert_eq!(
+            Poller::in_memory(bank.clone(), AccessModel::default(), zero, 0)
+                .err()
+                .expect("zero interval must be rejected"),
+            PollError::ZeroInterval
+        );
+        let ok = CampaignConfig::single("x", CounterId::TxBytes(PortId(0)), Nanos::from_micros(25));
+        let mut sim = Simulator::new();
+        let p = Poller::in_memory(bank, AccessModel::default(), ok, 0).unwrap();
+        assert!(matches!(
+            p.spawn(&mut sim, Nanos(5), Nanos(5)).unwrap_err(),
+            PollError::EmptyWindow { .. }
+        ));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_accounted() {
+        let mut sim = Simulator::new();
+        let bank = AsicCounters::new_shared(1);
+        let campaign = CampaignConfig::single(
+            "bytes",
+            CounterId::TxBytes(PortId(0)),
+            Nanos::from_micros(25),
+        );
+        let plan = FaultPlan::none(0xFA11).with_transient_failure(0.05);
+        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 42)
+            .unwrap()
+            .with_faults(FaultInjector::new(plan));
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(200))
+            .unwrap();
+        sim.run_until(Nanos::MAX);
+        let p = sim.node_mut::<Poller>(id);
+        assert!(p.is_finished(), "faulty campaign must still finish");
+        let stats = p.stats();
+        assert!(stats.read_errors > 0, "5% failures over 8k deadlines");
+        assert!(stats.retries > 0);
+        assert_eq!(
+            stats.read_errors,
+            stats.retries + stats.abandoned_polls(),
+            "every failure retried or abandoned"
+        );
+        // Injector and poller agree on the fault count.
+        assert_eq!(p.fault_stats().unwrap().bus_timeouts, stats.read_errors);
+        // Retries mostly succeed: the vast majority of deadlines sampled.
+        assert!(
+            stats.polls > stats.abandoned_polls() * 50,
+            "polls {} vs abandoned {}",
+            stats.polls,
+            stats.abandoned_polls()
+        );
+    }
+
+    #[test]
+    fn backoff_is_bounded_exponential() {
+        let r = RetryPolicy {
+            max_retries: 10,
+            backoff_base: Nanos(1_000),
+            backoff_cap: Nanos(6_000),
+        };
+        assert_eq!(r.backoff(0), Nanos(1_000));
+        assert_eq!(r.backoff(1), Nanos(2_000));
+        assert_eq!(r.backoff(2), Nanos(4_000));
+        assert_eq!(r.backoff(3), Nanos(6_000), "capped");
+        assert_eq!(r.backoff(63), Nanos(6_000), "shift saturates");
+        assert_eq!(r.backoff(64), Nanos(6_000), "overflowing shift saturates");
+    }
+
+    #[test]
+    fn wrapped_counters_record_full_width_series() {
+        // Feed enough bytes through a 16-bit counter to wrap many times;
+        // the recorded series must match the true cumulative stream.
+        struct Feeder {
+            bank: Rc<AsicCounters>,
+            left: u32,
+        }
+        impl Node for Feeder {
+            fn on_packet(&mut self, _: &mut Ctx<'_>, _: PortId, _: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: u64) {
+                // 1500 B / 5us ≈ 7.5 KB per 25us interval: far enough under
+                // the 64 KB wrap period that poll jitter cannot hide a wrap.
+                self.bank.count_tx(PortId(0), 1_500);
+                self.left -= 1;
+                if self.left > 0 {
+                    ctx.timer_in(Nanos::from_micros(5), 0);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut sim = Simulator::new();
+        let bank = AsicCounters::new_shared(1);
+        let feeder = sim.add_node(Box::new(Feeder {
+            bank: bank.clone(),
+            left: 500,
+        }));
+        sim.schedule_timer(Nanos(0), feeder, 0);
+        let campaign = CampaignConfig::single(
+            "bytes",
+            CounterId::TxBytes(PortId(0)),
+            Nanos::from_micros(25),
+        );
+        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 11)
+            .unwrap()
+            .with_faults(FaultInjector::new(FaultPlan::none(0).with_counter_bits(16)));
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(5))
+            .unwrap();
+        sim.run_until(Nanos::MAX);
+        let series = &sim.node_mut::<Poller>(id).take_series().unwrap()[0].1;
+        // 500 * 1500 = 750 KB >> 65536: eleven wraps, yet the series is
+        // monotone and ends at the exact true total.
+        assert!(series.vs.windows(2).all(|w| w[1] >= w[0]), "no wrap glitch");
+        assert_eq!(*series.vs.last().unwrap(), 750_000);
+    }
+
+    #[test]
+    fn overload_sheds_counters_then_recovers() {
+        // An 8-counter campaign at an interval that cannot fit all 8 reads:
+        // with shedding armed, the controller must drop counters until the
+        // loop keeps up, and shed reads must be accounted.
+        let mut sim = Simulator::new();
+        let bank = AsicCounters::new_shared(8);
+        let counters: Vec<CounterId> = (0..8)
+            .map(|p| CounterId::TxSizeHist(PortId(p), 0))
+            .collect();
+        // 8 memory-class reads ≈ 2.4+1.8+7*0.96 ≈ 11us deterministic; a
+        // 12us interval drowns under jitter without shedding.
+        let campaign = CampaignConfig::group("hists", counters, Nanos::from_micros(12));
+        let policy = DegradationPolicy {
+            mode: DegradeMode::ShedCounters,
+            window: 64,
+            high_watermark: 0.15,
+            low_watermark: 0.02,
+            max_level: 6,
+            cooldown: 16,
+        };
+        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 5)
+            .unwrap()
+            .with_degradation(policy);
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(100))
+            .unwrap();
+        sim.run_until(Nanos::MAX);
+        let p = sim.node_mut::<Poller>(id);
+        let stats = p.stats();
+        assert!(stats.shed_counters > 0, "overload must shed");
+        assert!(stats.degraded_polls > 0);
+        assert!(p.degrade_level() > 0, "pressure persists at this interval");
+        // Schema stayed aligned the whole time.
+        let series = p.take_series().unwrap();
+        let n0 = series[0].1.len();
+        assert!(series.iter().all(|(_, s)| s.len() == n0));
+    }
+
+    #[test]
+    fn overload_stretch_mode_lengthens_interval() {
+        let mut sim = Simulator::new();
+        let bank = AsicCounters::new_shared(1);
+        // A 4us interval cannot fit a ~2.5us+jitter poll reliably.
+        let campaign = CampaignConfig::single(
+            "bytes",
+            CounterId::TxBytes(PortId(0)),
+            Nanos::from_micros(4),
+        );
+        let policy = DegradationPolicy {
+            mode: DegradeMode::StretchInterval,
+            window: 64,
+            high_watermark: 0.2,
+            low_watermark: 0.02,
+            max_level: 3,
+            cooldown: 16,
+        };
+        let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 9)
+            .unwrap()
+            .with_degradation(policy);
+        let id = poller
+            .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(50))
+            .unwrap();
+        sim.run_until(Nanos::MAX);
+        let p = sim.node_mut::<Poller>(id);
+        assert!(p.degrade_level() > 0, "stretch must engage");
+        let stats = p.stats();
+        assert!(stats.degraded_polls > 0);
+        // Stretched intervals space samples out: fewer polls than the
+        // undegraded deadline count, but the campaign completed.
+        assert!(p.is_finished());
+    }
+
+    #[test]
+    fn fault_sequences_are_deterministic() {
+        let run = |seed: u64| -> PollerStats {
+            let mut sim = Simulator::new();
+            let bank = AsicCounters::new_shared(1);
+            let campaign = CampaignConfig::single(
+                "bytes",
+                CounterId::TxBytes(PortId(0)),
+                Nanos::from_micros(25),
+            );
+            let plan = FaultPlan::none(seed)
+                .with_transient_failure(0.02)
+                .with_latency_spike(0.01)
+                .with_stale_read(0.01)
+                .with_counter_bits(32);
+            let poller = Poller::in_memory(bank, AccessModel::default(), campaign, 77)
+                .unwrap()
+                .with_faults(FaultInjector::new(plan));
+            let id = poller
+                .spawn(&mut sim, Nanos::ZERO, Nanos::from_millis(100))
+                .unwrap();
+            sim.run_until(Nanos::MAX);
+            sim.node_mut::<Poller>(id).stats()
+        };
+        assert_eq!(run(123), run(123), "same seed, same campaign");
+        assert_ne!(run(123), run(456), "different fault stream");
     }
 }

@@ -157,6 +157,69 @@ impl Series {
     }
 }
 
+/// Reconstructs a full-width cumulative counter from narrow-register reads.
+///
+/// Real register banks expose 32-bit (sometimes narrower) cumulative
+/// counters: at 10 Gb/s a 32-bit byte counter wraps every ~3.4 s, far
+/// shorter than a campaign. Because the counter is monotone and polls are
+/// frequent relative to the wrap period, the true delta between consecutive
+/// reads is their difference **modulo `2^bits`** — exact as long as fewer
+/// than `2^bits` units accumulate between reads (guaranteed by any interval
+/// that satisfies Table 1-style loss targets).
+#[derive(Debug, Clone)]
+pub struct WrapDecoder {
+    bits: u32,
+    last_raw: Option<u64>,
+    acc: u64,
+}
+
+impl WrapDecoder {
+    /// A decoder for registers `bits` wide (1..=64).
+    ///
+    /// # Panics
+    /// Panics when `bits` is outside `1..=64`.
+    pub fn new(bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&bits),
+            "counter width {bits} out of range"
+        );
+        WrapDecoder {
+            bits,
+            last_raw: None,
+            acc: 0,
+        }
+    }
+
+    /// The modulus mask for this register width.
+    pub fn mask(&self) -> u64 {
+        if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// Feeds one raw register read and returns the reconstructed 64-bit
+    /// cumulative value. The first read seeds the accumulator.
+    pub fn decode(&mut self, raw: u64) -> u64 {
+        let raw = raw & self.mask();
+        match self.last_raw {
+            None => self.acc = raw,
+            Some(prev) => {
+                let delta = raw.wrapping_sub(prev) & self.mask();
+                self.acc = self.acc.wrapping_add(delta);
+            }
+        }
+        self.last_raw = Some(raw);
+        self.acc
+    }
+
+    /// The reconstructed cumulative value after the latest decode.
+    pub fn unwrapped(&self) -> u64 {
+        self.acc
+    }
+}
+
 /// Per-interval utilization of a link.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UtilSample {
@@ -268,5 +331,48 @@ mod tests {
         let s = series(&[(5, 1), (6, 2)]);
         let pts: Vec<_> = s.points().collect();
         assert_eq!(pts, vec![(Nanos(5), 1), (Nanos(6), 2)]);
+    }
+
+    #[test]
+    fn wrap_decoder_reconstructs_across_wraps() {
+        // An 8-bit register: true stream 250, 260, 270 reads as 250, 4, 14.
+        let mut d = WrapDecoder::new(8);
+        assert_eq!(d.decode(250), 250);
+        assert_eq!(d.decode(260 & 0xFF), 260);
+        assert_eq!(d.decode(270 & 0xFF), 270);
+        assert_eq!(d.unwrapped(), 270);
+    }
+
+    #[test]
+    fn wrap_decoder_full_width_is_identity() {
+        let mut d = WrapDecoder::new(64);
+        for v in [0u64, 5, 1 << 40, u64::MAX / 2] {
+            assert_eq!(d.decode(v), v);
+        }
+    }
+
+    #[test]
+    fn wrap_decoder_32bit_survives_many_wraps() {
+        let mut d = WrapDecoder::new(32);
+        let step = 3_000_000_000u64; // ~0.7 wraps per read
+        let mut truth = 7u64;
+        assert_eq!(d.decode(truth & 0xFFFF_FFFF), truth);
+        for _ in 0..50 {
+            truth += step;
+            assert_eq!(d.decode(truth & 0xFFFF_FFFF), truth);
+        }
+    }
+
+    #[test]
+    fn wrap_decoder_repeated_value_is_zero_delta() {
+        let mut d = WrapDecoder::new(32);
+        assert_eq!(d.decode(100), 100);
+        assert_eq!(d.decode(100), 100, "stale repeat adds nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn wrap_decoder_rejects_zero_bits() {
+        WrapDecoder::new(0);
     }
 }

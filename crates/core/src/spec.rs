@@ -38,9 +38,8 @@ impl CoreMode {
     /// `P(total > 25 µs) ≈ 0.011`.
     pub fn sample_jitter(self, rng: &mut Rng) -> Nanos {
         let r = rng.f64();
-        let us = |lo: f64, hi: f64, rng: &mut Rng| {
-            Nanos::from_secs_f64(rng.range_f64(lo, hi) * 1e-6)
-        };
+        let us =
+            |lo: f64, hi: f64, rng: &mut Rng| Nanos::from_secs_f64(rng.range_f64(lo, hi) * 1e-6);
         match self {
             CoreMode::Dedicated => {
                 if r < 0.89 {
@@ -89,11 +88,7 @@ impl CampaignConfig {
     }
 
     /// A multi-counter campaign (lower max rate, sublinear in counter count).
-    pub fn group(
-        name: impl Into<String>,
-        counters: Vec<CounterId>,
-        interval: Nanos,
-    ) -> Self {
+    pub fn group(name: impl Into<String>, counters: Vec<CounterId>, interval: Nanos) -> Self {
         assert!(!counters.is_empty(), "campaign with no counters");
         CampaignConfig {
             name: name.into(),
@@ -168,10 +163,7 @@ mod tests {
 
         let g = CampaignConfig::group(
             "uplinks",
-            vec![
-                CounterId::TxBytes(PortId(0)),
-                CounterId::TxBytes(PortId(1)),
-            ],
+            vec![CounterId::TxBytes(PortId(0)), CounterId::TxBytes(PortId(1))],
             Nanos::from_micros(40),
         )
         .on_shared_core();

@@ -4,11 +4,20 @@
 //! arrival order. Offers CSV export so campaign data can leave the process
 //! the way the paper's raw distributions left theirs (the published GitHub
 //! data dump).
+//!
+//! The store is the last line of defence for data integrity: a malformed
+//! batch (timestamps out of order within the batch, or timestamps that
+//! duplicate samples already stored for the same source/counter) is
+//! **quarantined** — counted, kept out of the series, and never allowed to
+//! corrupt downstream rate math. Ingest never panics; locks recover from
+//! poisoning so one crashed worker cannot wedge the tier.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use parking_lot::RwLock;
 use uburst_asic::CounterId;
 use uburst_sim::node::PortId;
 
@@ -24,10 +33,52 @@ pub struct SeriesKey {
     pub counter: CounterId,
 }
 
+/// Why a batch was refused by [`SampleStore::ingest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The batch carried no samples (a protocol violation: batchers never
+    /// cut empty batches).
+    Empty,
+    /// Timestamps within the batch were not strictly increasing.
+    NonMonotonic,
+    /// The batch repeats a timestamp already stored for its series — a
+    /// double delivery that would double-count samples if merged.
+    DuplicateTimestamp,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::Empty => write!(f, "empty batch"),
+            QuarantineReason::NonMonotonic => write!(f, "non-monotonic timestamps"),
+            QuarantineReason::DuplicateTimestamp => {
+                write!(f, "duplicate timestamp for series")
+            }
+        }
+    }
+}
+
+/// Ingest accounting: every batch handed to the store lands in exactly one
+/// of these counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Batches merged into series.
+    pub ingested_batches: u64,
+    /// Batches refused and quarantined.
+    pub quarantined_batches: u64,
+}
+
+/// How many quarantined batches are retained for post-mortem inspection.
+const QUARANTINE_KEEP: usize = 64;
+
 /// Thread-safe store of collected series.
 #[derive(Debug, Default)]
 pub struct SampleStore {
     inner: RwLock<HashMap<SeriesKey, Series>>,
+    ingested: AtomicU64,
+    quarantined: AtomicU64,
+    /// The most recent quarantined batches (bounded; oldest evicted).
+    quarantine: Mutex<Vec<(QuarantineReason, Batch)>>,
 }
 
 impl SampleStore {
@@ -36,43 +87,102 @@ impl SampleStore {
         Self::default()
     }
 
-    /// Ingests one batch. Batches of the same series may arrive out of
-    /// order when several collector workers share a source's stream; the
-    /// store merges them back into timestamp order.
-    pub fn ingest(&self, batch: &Batch) {
+    fn read_lock(&self) -> RwLockReadGuard<'_, HashMap<SeriesKey, Series>> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_lock(&self) -> RwLockWriteGuard<'_, HashMap<SeriesKey, Series>> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Validates `batch` against the stored series it targets. Batches of
+    /// the same series may arrive out of order when several collector
+    /// workers share a source's stream — that is legal and merged back into
+    /// timestamp order; what is *not* legal is internal disorder or exact
+    /// timestamp duplication (a re-delivered batch).
+    fn validate(batch: &Batch, existing: Option<&Series>) -> Result<(), QuarantineReason> {
+        let ts = &batch.samples.ts;
+        if ts.is_empty() || ts.len() != batch.samples.vs.len() {
+            return Err(QuarantineReason::Empty);
+        }
+        if ts.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(QuarantineReason::NonMonotonic);
+        }
+        if let Some(s) = existing {
+            if ts.iter().any(|t| s.ts.binary_search(t).is_ok()) {
+                return Err(QuarantineReason::DuplicateTimestamp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests one batch, or quarantines it if malformed. The rejected
+    /// batch is retained (up to a bounded backlog) for inspection via
+    /// [`SampleStore::quarantined`].
+    pub fn ingest(&self, batch: &Batch) -> Result<(), QuarantineReason> {
         let key = SeriesKey {
             source: batch.source,
             counter: batch.counter,
         };
-        let mut map = self.inner.write();
+        // Validate under the same write lock that merges, so two workers
+        // racing duplicate deliveries of one batch cannot both pass.
+        let mut map = self.write_lock();
+        if let Err(reason) = Self::validate(batch, map.get(&key)) {
+            drop(map);
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            let mut q = self.quarantine.lock().unwrap_or_else(|e| e.into_inner());
+            if q.len() >= QUARANTINE_KEEP {
+                q.remove(0);
+            }
+            q.push((reason, batch.clone()));
+            return Err(reason);
+        }
         map.entry(key).or_default().merge_from(&batch.samples);
+        drop(map);
+        self.ingested.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Ingest accounting so far.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            ingested_batches: self.ingested.load(Ordering::Relaxed),
+            quarantined_batches: self.quarantined.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The most recently quarantined batches and why (bounded backlog).
+    pub fn quarantined(&self) -> Vec<(QuarantineReason, Batch)> {
+        self.quarantine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Snapshot of one series.
     pub fn series(&self, source: SourceId, counter: CounterId) -> Option<Series> {
-        self.inner
-            .read()
+        self.read_lock()
             .get(&SeriesKey { source, counter })
             .cloned()
     }
 
     /// All keys currently stored, sorted for deterministic iteration.
     pub fn keys(&self) -> Vec<SeriesKey> {
-        let mut keys: Vec<SeriesKey> = self.inner.read().keys().copied().collect();
+        let mut keys: Vec<SeriesKey> = self.read_lock().keys().copied().collect();
         keys.sort_unstable();
         keys
     }
 
     /// Total samples across all series.
     pub fn total_samples(&self) -> usize {
-        self.inner.read().values().map(Series::len).sum()
+        self.read_lock().values().map(Series::len).sum()
     }
 
     /// Writes every series as CSV rows:
     /// `source,counter,timestamp_ns,value`.
     pub fn export_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(w, "source,counter,timestamp_ns,value")?;
-        let map = self.inner.read();
+        let map = self.read_lock();
         let mut keys: Vec<&SeriesKey> = map.keys().collect();
         keys.sort_unstable();
         for key in keys {
@@ -103,7 +213,7 @@ impl SampleStore {
                 format!("unexpected header: {header}"),
             ));
         }
-        let mut map = store.inner.write();
+        let mut map = store.write_lock();
         for (lineno, line) in lines.enumerate() {
             let line = line?;
             if line.trim().is_empty() {
@@ -162,8 +272,14 @@ pub fn parse_counter_label(label: &str) -> Option<CounterId> {
         "tx_bytes" => Some(CounterId::TxBytes(port)),
         "tx_packets" => Some(CounterId::TxPackets(port)),
         "drops" => Some(CounterId::Drops(port)),
-        "rx_size_hist" => Some(CounterId::RxSizeHist(port, nums.next()?.trim().parse().ok()?)),
-        "tx_size_hist" => Some(CounterId::TxSizeHist(port, nums.next()?.trim().parse().ok()?)),
+        "rx_size_hist" => Some(CounterId::RxSizeHist(
+            port,
+            nums.next()?.trim().parse().ok()?,
+        )),
+        "tx_size_hist" => Some(CounterId::TxSizeHist(
+            port,
+            nums.next()?.trim().parse().ok()?,
+        )),
         _ => None,
     }
 }
@@ -208,20 +324,27 @@ mod tests {
     fn ingest_and_read_back() {
         let store = SampleStore::new();
         let c = CounterId::TxBytes(PortId(1));
-        store.ingest(&batch(0, c, &[(1, 10), (2, 20)]));
-        store.ingest(&batch(0, c, &[(3, 30)]));
+        store.ingest(&batch(0, c, &[(1, 10), (2, 20)])).unwrap();
+        store.ingest(&batch(0, c, &[(3, 30)])).unwrap();
         let s = store.series(SourceId(0), c).unwrap();
         assert_eq!(s.ts, vec![1, 2, 3]);
         assert_eq!(s.vs, vec![10, 20, 30]);
         assert_eq!(store.total_samples(), 3);
+        assert_eq!(
+            store.stats(),
+            StoreStats {
+                ingested_batches: 2,
+                quarantined_batches: 0
+            }
+        );
     }
 
     #[test]
     fn sources_are_isolated() {
         let store = SampleStore::new();
         let c = CounterId::TxBytes(PortId(0));
-        store.ingest(&batch(0, c, &[(1, 1)]));
-        store.ingest(&batch(1, c, &[(1, 99)]));
+        store.ingest(&batch(0, c, &[(1, 1)])).unwrap();
+        store.ingest(&batch(1, c, &[(1, 99)])).unwrap();
         assert_eq!(store.series(SourceId(0), c).unwrap().vs, vec![1]);
         assert_eq!(store.series(SourceId(1), c).unwrap().vs, vec![99]);
         assert_eq!(store.keys().len(), 2);
@@ -230,15 +353,84 @@ mod tests {
     #[test]
     fn missing_series_is_none() {
         let store = SampleStore::new();
-        assert!(store
-            .series(SourceId(7), CounterId::BufferPeak)
-            .is_none());
+        assert!(store.series(SourceId(7), CounterId::BufferPeak).is_none());
+    }
+
+    #[test]
+    fn out_of_order_batches_still_merge() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(0));
+        store.ingest(&batch(0, c, &[(30, 3), (40, 4)])).unwrap();
+        store.ingest(&batch(0, c, &[(10, 1), (20, 2)])).unwrap();
+        let s = store.series(SourceId(0), c).unwrap();
+        assert_eq!(s.ts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nonmonotonic_batch_is_quarantined() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(0));
+        let mut bad = batch(0, c, &[(1, 1)]);
+        bad.samples.ts = vec![5, 3];
+        bad.samples.vs = vec![1, 2];
+        assert_eq!(store.ingest(&bad), Err(QuarantineReason::NonMonotonic));
+        assert!(store.series(SourceId(0), c).is_none(), "nothing stored");
+        let q = store.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].0, QuarantineReason::NonMonotonic);
+        assert_eq!(store.stats().quarantined_batches, 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_quarantined() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(0));
+        let b = batch(0, c, &[(10, 1), (20, 2)]);
+        store.ingest(&b).unwrap();
+        assert_eq!(store.ingest(&b), Err(QuarantineReason::DuplicateTimestamp));
+        // The series holds exactly one copy.
+        assert_eq!(store.series(SourceId(0), c).unwrap().ts, vec![10, 20]);
+        // Same timestamps on a *different* source are fine.
+        store.ingest(&batch(1, c, &[(10, 5), (20, 6)])).unwrap();
+        assert_eq!(store.stats().ingested_batches, 2);
+        assert_eq!(store.stats().quarantined_batches, 1);
+    }
+
+    #[test]
+    fn empty_batch_is_quarantined() {
+        let store = SampleStore::new();
+        let b = Batch {
+            source: SourceId(0),
+            campaign: "t".into(),
+            counter: CounterId::BufferPeak,
+            samples: Series::new(),
+        };
+        assert_eq!(store.ingest(&b), Err(QuarantineReason::Empty));
+    }
+
+    #[test]
+    fn quarantine_backlog_is_bounded() {
+        let store = SampleStore::new();
+        let c = CounterId::TxBytes(PortId(0));
+        store.ingest(&batch(0, c, &[(1, 1)])).unwrap();
+        let dup = batch(0, c, &[(1, 1)]);
+        for _ in 0..(QUARANTINE_KEEP + 10) {
+            let _ = store.ingest(&dup);
+        }
+        assert_eq!(store.quarantined().len(), QUARANTINE_KEEP);
+        assert_eq!(
+            store.stats().quarantined_batches,
+            (QUARANTINE_KEEP + 10) as u64,
+            "counter keeps counting past the backlog bound"
+        );
     }
 
     #[test]
     fn csv_export_shape() {
         let store = SampleStore::new();
-        store.ingest(&batch(2, CounterId::Drops(PortId(3)), &[(100, 1)]));
+        store
+            .ingest(&batch(2, CounterId::Drops(PortId(3)), &[(100, 1)]))
+            .unwrap();
         let mut out = Vec::new();
         store.export_csv(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -250,13 +442,23 @@ mod tests {
     #[test]
     fn csv_round_trips() {
         let store = SampleStore::new();
-        store.ingest(&batch(3, CounterId::TxBytes(PortId(7)), &[(10, 1), (20, 5)]));
-        store.ingest(&batch(4, CounterId::BufferPeak, &[(15, 900)]));
+        store
+            .ingest(&batch(
+                3,
+                CounterId::TxBytes(PortId(7)),
+                &[(10, 1), (20, 5)],
+            ))
+            .unwrap();
+        store
+            .ingest(&batch(4, CounterId::BufferPeak, &[(15, 900)]))
+            .unwrap();
         let mut out = Vec::new();
         store.export_csv(&mut out).unwrap();
         let re = SampleStore::import_csv(std::io::Cursor::new(out)).unwrap();
         assert_eq!(re.total_samples(), 3);
-        let s = re.series(SourceId(3), CounterId::TxBytes(PortId(7))).unwrap();
+        let s = re
+            .series(SourceId(3), CounterId::TxBytes(PortId(7)))
+            .unwrap();
         assert_eq!(s.ts, vec![10, 20]);
         assert_eq!(s.vs, vec![1, 5]);
         assert_eq!(

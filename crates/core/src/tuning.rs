@@ -100,11 +100,10 @@ pub fn probe_miss_fraction(
     let bank: Rc<AsicCounters> = AsicCounters::new_shared(n_ports);
     let mut campaign = CampaignConfig::group("tuning-probe", counters.to_vec(), interval);
     campaign.core_mode = core_mode;
-    let id = Poller::in_memory(bank, access, campaign, seed).spawn(
-        &mut sim,
-        Nanos::ZERO,
-        duration,
-    );
+    let id = Poller::in_memory(bank, access, campaign, seed)
+        .expect("probe campaign is non-empty with a nonzero interval")
+        .spawn(&mut sim, Nanos::ZERO, duration)
+        .expect("probe window is non-empty");
     sim.run_until(Nanos::MAX);
     sim.node_mut::<Poller>(id).stats().deadline_miss_fraction()
 }
@@ -137,11 +136,10 @@ pub fn probe_loss_profile(
     let bank: Rc<AsicCounters> = AsicCounters::new_shared(n_ports);
     let mut campaign = CampaignConfig::group("tuning-probe", counters.to_vec(), interval);
     campaign.core_mode = core_mode;
-    let id = Poller::in_memory(bank, access, campaign, seed).spawn(
-        &mut sim,
-        Nanos::ZERO,
-        duration,
-    );
+    let id = Poller::in_memory(bank, access, campaign, seed)
+        .expect("probe campaign is non-empty with a nonzero interval")
+        .spawn(&mut sim, Nanos::ZERO, duration)
+        .expect("probe window is non-empty");
     sim.run_until(Nanos::MAX);
     let stats = sim.node_mut::<Poller>(id).stats();
     (stats.deadline_miss_fraction(), stats.late_fraction())
@@ -296,6 +294,10 @@ mod tests {
             ..TuningConfig::default()
         };
         // A 2us budget can never fit a ~2.5us+jitter poll at 1% loss.
-        tune_min_interval(&[CounterId::TxBytes(PortId(0))], AccessModel::default(), &cfg);
+        tune_min_interval(
+            &[CounterId::TxBytes(PortId(0))],
+            AccessModel::default(),
+            &cfg,
+        );
     }
 }

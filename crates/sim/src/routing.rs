@@ -129,14 +129,14 @@ impl RoutingTable {
                         group.ports[i]
                     }
                     EcmpMode::Flowlet { gap } => {
-                        let table = group.flowlets.get_or_init(|| {
-                            vec![Cell::new((0u64, 0u16)); FLOWLET_SLOTS]
-                        });
+                        let table = group
+                            .flowlets
+                            .get_or_init(|| vec![Cell::new((0u64, 0u16)); FLOWLET_SLOTS]);
                         let slot =
                             &table[(mix64(ecmp_key ^ self.seed) as usize) & (FLOWLET_SLOTS - 1)];
                         let (last, member) = slot.get();
-                        let expired = last == 0
-                            || now.as_nanos().saturating_sub(last) > gap.as_nanos();
+                        let expired =
+                            last == 0 || now.as_nanos().saturating_sub(last) > gap.as_nanos();
                         let member = if expired {
                             // New flowlet: rehash including the time so
                             // successive flowlets can land on new members.
@@ -231,7 +231,9 @@ mod tests {
         let mut t = RoutingTable::with_mode(7, EcmpMode::PacketSpray);
         let g = t.add_group(vec![PortId(0), PortId(1)]);
         t.set_default(Route::Group(g));
-        let picks: Vec<_> = (0..4).map(|_| t.lookup(NodeId(5), 1, Nanos::ZERO).unwrap().0).collect();
+        let picks: Vec<_> = (0..4)
+            .map(|_| t.lookup(NodeId(5), 1, Nanos::ZERO).unwrap().0)
+            .collect();
         assert_eq!(picks, vec![0, 1, 0, 1]);
     }
 
@@ -265,9 +267,7 @@ mod tests {
         let first = t.lookup(NodeId(9), 42, Nanos::from_micros(10)).unwrap();
         // Back-to-back packets (1us apart) never re-hash.
         for i in 1..50u64 {
-            let p = t
-                .lookup(NodeId(9), 42, Nanos::from_micros(10 + i))
-                .unwrap();
+            let p = t.lookup(NodeId(9), 42, Nanos::from_micros(10 + i)).unwrap();
             assert_eq!(p, first, "reordered within a flowlet");
         }
     }

@@ -74,11 +74,7 @@ impl Simulator {
     }
 
     fn check_node(&self, id: NodeId) {
-        assert!(
-            (id.0 as usize) < self.nodes.len(),
-            "unknown node {:?}",
-            id
-        );
+        assert!((id.0 as usize) < self.nodes.len(), "unknown node {:?}", id);
     }
 
     /// Read-only access to the wiring (used by analysis helpers that need

@@ -219,8 +219,8 @@ impl Node for Switch {
 mod tests {
     use super::*;
     use crate::counters::null_sink;
-    use crate::node::NodeId;
     use crate::link::LinkSpec;
+    use crate::node::NodeId;
     use crate::packet::{FlowId, PacketKind, MTU_FRAME};
     use crate::routing::Route;
     use crate::sim::Simulator;
@@ -356,15 +356,9 @@ mod tests {
             stats.rx_packets,
             stats.tx_packets + stats.dropped_packets + stats.unroutable
         );
-        assert_eq!(
-            stats.rx_bytes,
-            stats.tx_bytes + stats.dropped_bytes
-        );
+        assert_eq!(stats.rx_bytes, stats.tx_bytes + stats.dropped_bytes);
         assert!(stats.dropped_packets > 0, "tiny buffer must drop");
-        assert_eq!(
-            sim.node::<SinkHost>(recv).rx,
-            stats.tx_packets
-        );
+        assert_eq!(sim.node::<SinkHost>(recv).rx, stats.tx_packets);
     }
 
     #[test]

@@ -283,13 +283,10 @@ mod tests {
                 t.on_timer(ctx, &mut self.nic, token);
             } else {
                 for (dst, bytes) in std::mem::take(&mut self.to_send) {
-                    self.transport.as_mut().unwrap().start_flow(
-                        ctx,
-                        &mut self.nic,
-                        dst,
-                        bytes,
-                        0,
-                    );
+                    self.transport
+                        .as_mut()
+                        .unwrap()
+                        .start_flow(ctx, &mut self.nic, dst, bytes, 0);
                 }
             }
         }
@@ -312,7 +309,13 @@ mod tests {
             .collect()
     }
 
-    fn build_two_racks() -> (Simulator, Vec<NodeId>, Vec<NodeId>, Vec<NodeId>, ClosHandles) {
+    fn build_two_racks() -> (
+        Simulator,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        Vec<NodeId>,
+        ClosHandles,
+    ) {
         let mut sim = Simulator::new();
         let rack_a = make_hosts(&mut sim, 4);
         let rack_b = make_hosts(&mut sim, 4);

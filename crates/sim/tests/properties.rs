@@ -1,139 +1,199 @@
-//! Property-based tests for the simulator's core invariants.
+//! Property-style tests for the simulator's core invariants.
+//!
+//! Each test drives a seeded `Rng` through a fixed number of randomized
+//! cases — deterministic across runs, no external dependencies.
 
-use proptest::prelude::*;
 use uburst_sim::events::{EventKind, EventQueue};
 use uburst_sim::link::LinkSpec;
 use uburst_sim::node::{NodeId, PortId};
-use uburst_sim::packet::{segment_wire_size, segments_for, ACK_BYTES, HEADER_BYTES, MSS, MTU_FRAME};
+use uburst_sim::packet::{
+    segment_wire_size, segments_for, ACK_BYTES, HEADER_BYTES, MSS, MTU_FRAME,
+};
 use uburst_sim::rng::Rng;
 use uburst_sim::routing::{Route, RoutingTable};
 use uburst_sim::time::Nanos;
 
-proptest! {
-    #[test]
-    fn event_queue_pops_in_time_order(times in prop::collection::vec(0u64..1_000_000, 1..500)) {
+const CASES: u64 = 48;
+
+#[test]
+fn event_queue_pops_in_time_order() {
+    let mut rng = Rng::new(0x51_4f_01);
+    for case in 0..CASES {
+        let n = rng.range(1, 500) as usize;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Nanos(t), EventKind::Timer { node: NodeId(0), token: i as u64 });
+        for i in 0..n {
+            let t = rng.below(1_000_000);
+            q.schedule(
+                Nanos(t),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: i as u64,
+                },
+            );
         }
         let mut last = Nanos::ZERO;
         let mut popped = 0;
         while let Some(e) = q.pop_until(Nanos::MAX) {
-            prop_assert!(e.time >= last, "time went backwards");
+            assert!(e.time >= last, "case {case}: time went backwards");
             last = e.time;
             popped += 1;
         }
-        prop_assert_eq!(popped, times.len());
+        assert_eq!(popped, n);
     }
+}
 
-    #[test]
-    fn event_queue_ties_preserve_fifo(n in 1usize..200) {
+#[test]
+fn event_queue_ties_preserve_fifo() {
+    let mut rng = Rng::new(0x51_4f_02);
+    for _ in 0..CASES {
+        let n = rng.range(1, 200);
         let mut q = EventQueue::new();
         for i in 0..n {
-            q.schedule(Nanos(42), EventKind::Timer { node: NodeId(0), token: i as u64 });
+            q.schedule(
+                Nanos(42),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: i,
+                },
+            );
         }
         let mut expected = 0u64;
         while let Some(e) = q.pop_until(Nanos::MAX) {
             if let EventKind::Timer { token, .. } = e.kind {
-                prop_assert_eq!(token, expected);
+                assert_eq!(token, expected);
                 expected += 1;
             }
         }
     }
+}
 
-    #[test]
-    fn segmentation_covers_every_byte(bytes in 0u64..50_000_000) {
+#[test]
+fn segmentation_covers_every_byte() {
+    let mut rng = Rng::new(0x51_4f_03);
+    for _ in 0..CASES {
+        let bytes = rng.below(50_000_000);
         let total = segments_for(bytes);
         // Segments carry the whole flow, no more than MSS each.
         let covered = u64::from(total) * u64::from(MSS);
-        prop_assert!(covered >= bytes);
-        prop_assert!(covered < bytes + u64::from(MSS) || bytes == 0);
+        assert!(covered >= bytes);
+        assert!(covered < bytes + u64::from(MSS) || bytes == 0);
         // Every segment's wire size is a valid frame.
         for seq in 0..total.min(3) {
             let w = segment_wire_size(bytes, seq);
-            prop_assert!(w >= ACK_BYTES && w <= MTU_FRAME);
+            assert!((ACK_BYTES..=MTU_FRAME).contains(&w));
         }
         let last = segment_wire_size(bytes, total - 1);
-        prop_assert!(last >= ACK_BYTES && last <= MTU_FRAME);
+        assert!((ACK_BYTES..=MTU_FRAME).contains(&last));
         // Payload accounting: total wire bytes minus per-segment headers
         // equals the application bytes (modulo minimum-frame padding on a
         // tiny final segment).
-        if bytes > 0 && bytes % u64::from(MSS) == 0 {
-            let wire: u64 = (0..total).map(|s| u64::from(segment_wire_size(bytes, s))).sum();
-            prop_assert_eq!(wire - u64::from(total) * u64::from(HEADER_BYTES), bytes);
+        if bytes > 0 && bytes.is_multiple_of(u64::from(MSS)) {
+            let wire: u64 = (0..total)
+                .map(|s| u64::from(segment_wire_size(bytes, s)))
+                .sum();
+            assert_eq!(wire - u64::from(total) * u64::from(HEADER_BYTES), bytes);
         }
     }
+}
 
-    #[test]
-    fn serialization_time_is_monotone_in_size_and_speed(
-        bytes_a in 64u32..9000,
-        bytes_b in 64u32..9000,
-        gbps in 1u32..100,
-    ) {
+#[test]
+fn serialization_time_is_monotone_in_size_and_speed() {
+    let mut rng = Rng::new(0x51_4f_04);
+    for _ in 0..CASES {
+        let bytes_a = rng.range(64, 9000) as u32;
+        let bytes_b = rng.range(64, 9000) as u32;
+        let gbps = rng.range(1, 100) as u32;
         let slow = LinkSpec::gbps(f64::from(gbps), Nanos::ZERO);
         let fast = LinkSpec::gbps(f64::from(gbps) * 2.0, Nanos::ZERO);
-        let (lo, hi) = if bytes_a < bytes_b { (bytes_a, bytes_b) } else { (bytes_b, bytes_a) };
-        prop_assert!(slow.ser_time(lo) <= slow.ser_time(hi));
-        prop_assert!(fast.ser_time(hi) <= slow.ser_time(hi));
-        prop_assert!(slow.ser_time(lo) > Nanos::ZERO);
+        let (lo, hi) = if bytes_a < bytes_b {
+            (bytes_a, bytes_b)
+        } else {
+            (bytes_b, bytes_a)
+        };
+        assert!(slow.ser_time(lo) <= slow.ser_time(hi));
+        assert!(fast.ser_time(hi) <= slow.ser_time(hi));
+        assert!(slow.ser_time(lo) > Nanos::ZERO);
     }
+}
 
-    #[test]
-    fn ecmp_hash_is_consistent_and_complete(
-        seed in any::<u64>(),
-        keys in prop::collection::vec(any::<u64>(), 1..200),
-        width in 2u16..16,
-    ) {
+#[test]
+fn ecmp_hash_is_consistent_and_complete() {
+    let mut rng = Rng::new(0x51_4f_05);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let width = rng.range(2, 16) as u16;
+        let n_keys = rng.range(1, 200) as usize;
         let mut t = RoutingTable::new(seed);
         let ports: Vec<PortId> = (0..width).map(PortId).collect();
         let g = t.add_group(ports.clone());
         t.set_default(Route::Group(g));
-        for &k in &keys {
+        for _ in 0..n_keys {
+            let k = rng.next_u64();
             let p1 = t.lookup(NodeId(99), k, Nanos::ZERO).unwrap();
             let p2 = t.lookup(NodeId(99), k, Nanos::ZERO).unwrap();
-            prop_assert_eq!(p1, p2, "flow hashing must be consistent");
-            prop_assert!(ports.contains(&p1));
+            assert_eq!(p1, p2, "flow hashing must be consistent");
+            assert!(ports.contains(&p1));
         }
     }
+}
 
-    #[test]
-    fn rng_below_respects_bound(seed in any::<u64>(), n in 1u64..1_000_000) {
+#[test]
+fn rng_below_respects_bound() {
+    let mut meta = Rng::new(0x51_4f_06);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n = meta.range(1, 1_000_000);
         let mut rng = Rng::new(seed);
         for _ in 0..100 {
-            prop_assert!(rng.below(n) < n);
+            assert!(rng.below(n) < n);
         }
     }
+}
 
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_streams_reproducible() {
+    let mut meta = Rng::new(0x51_4f_07);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..50 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    #[test]
-    fn rng_sample_indices_distinct(seed in any::<u64>(), n in 1usize..64, frac in 0.0f64..1.0) {
+#[test]
+fn rng_sample_indices_distinct() {
+    let mut meta = Rng::new(0x51_4f_08);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let n = meta.range(1, 64) as usize;
+        let frac = meta.f64();
         let k = ((n as f64) * frac) as usize;
         let mut rng = Rng::new(seed);
         let s = rng.sample_indices(n, k);
-        prop_assert_eq!(s.len(), k);
+        assert_eq!(s.len(), k);
         let mut sorted = s.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), k, "duplicates produced");
-        prop_assert!(s.iter().all(|&i| i < n));
+        assert_eq!(sorted.len(), k, "duplicates produced");
+        assert!(s.iter().all(|&i| i < n));
     }
+}
 
-    #[test]
-    fn nanos_arithmetic_consistency(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+#[test]
+fn nanos_arithmetic_consistency() {
+    let mut rng = Rng::new(0x51_4f_09);
+    for _ in 0..CASES {
+        let a = rng.below(u64::MAX / 4);
+        let b = rng.below(u64::MAX / 4);
         let (x, y) = (Nanos(a), Nanos(b));
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x + y).saturating_sub(y), x);
-        prop_assert_eq!(x.min(y) + x.max(y), x + y);
+        assert_eq!(x + y, y + x);
+        assert_eq!((x + y).saturating_sub(y), x);
+        assert_eq!(x.min(y) + x.max(y), x + y);
         if b > 0 {
-            prop_assert_eq!((x / b) * b + Nanos(a % b), x);
+            assert_eq!((x / b) * b + Nanos(a % b), x);
         }
     }
 }

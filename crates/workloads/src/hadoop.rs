@@ -156,8 +156,8 @@ impl HadoopApp {
         let k = self.wave_index;
         self.wave_index += 1;
         if env.rng.chance(self.cfg.join_prob) {
-            let remote = !self.cfg.remote_nodes.is_empty()
-                && env.rng.chance(self.cfg.remote_wave_prob);
+            let remote =
+                !self.cfg.remote_nodes.is_empty() && env.rng.chance(self.cfg.remote_wave_prob);
             let dst = if remote {
                 // Cross-rack shuffle: this wave's output leaves the rack.
                 *env.rng.pick(&self.cfg.remote_nodes)
@@ -177,8 +177,8 @@ impl HadoopApp {
     }
 
     fn run_background(&mut self, env: &mut Env<'_, '_>) {
-        let remote = !self.cfg.remote_nodes.is_empty()
-            && env.rng.chance(self.cfg.background_remote_prob);
+        let remote =
+            !self.cfg.remote_nodes.is_empty() && env.rng.chance(self.cfg.background_remote_prob);
         let dst = if remote {
             *env.rng.pick(&self.cfg.remote_nodes)
         } else {
@@ -341,10 +341,7 @@ mod tests {
             .map(|&h| sim.node::<AppHost>(h).app::<HadoopApp>().bytes_received)
             .sum();
         assert!(started > 20, "only {started} transfers started");
-        assert!(
-            received > 5_000_000,
-            "only {received} bytes moved in 60ms"
-        );
+        assert!(received > 5_000_000, "only {received} bytes moved in 60ms");
     }
 
     /// Test helper: mutable access to a host's HadoopApp before start.

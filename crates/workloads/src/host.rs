@@ -175,8 +175,7 @@ impl AppHost {
     ) -> NodeId {
         let host = AppHost::new(app, nic_cfg, seed);
         let id = sim.add_node(Box::new(host));
-        sim.node_mut::<AppHost>(id).transport =
-            Some(TransportEndpoint::new(id, transport_cfg));
+        sim.node_mut::<AppHost>(id).transport = Some(TransportEndpoint::new(id, transport_cfg));
         sim.schedule_timer(start_at, id, TOKEN_APP_START);
         id
     }
@@ -204,10 +203,7 @@ impl AppHost {
 
     /// Transport diagnostics.
     pub fn transport_stats(&self) -> uburst_sim::transport::TransportStats {
-        self.transport
-            .as_ref()
-            .map(|t| t.stats)
-            .unwrap_or_default()
+        self.transport.as_ref().map(|t| t.stats).unwrap_or_default()
     }
 
     /// NIC diagnostics: (sent packets, local drops).

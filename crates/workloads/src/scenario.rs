@@ -446,8 +446,7 @@ fn install_apps(
             let pods = contiguous_pods(rack.len(), cfg.cache.pod_size);
             let leaders: Vec<usize> = (0..cfg.cache.n_leaders.min(rack.len())).collect();
             let per_frontend = cfg.cache.groups_per_s_total * factor / remotes.len() as f64;
-            let write_per_frontend =
-                cfg.cache.write_rate_total * factor / remotes.len() as f64;
+            let write_per_frontend = cfg.cache.write_rate_total * factor / remotes.len() as f64;
             for &h in remotes {
                 set(
                     sim,
@@ -470,11 +469,9 @@ fn install_apps(
         RackType::Hadoop => {
             // Rack hosts and half the remotes are workers in one job;
             // waves are rate-scaled by stretching the period.
-            let period =
-                Nanos::from_secs_f64(cfg.hadoop.wave_period.as_secs_f64() / factor);
+            let period = Nanos::from_secs_f64(cfg.hadoop.wave_period.as_secs_f64() / factor);
             let schedule_seed = rng.next_u64();
-            let (mappers_remote, other_remote) =
-                remotes.split_at(remotes.len() / 2);
+            let (mappers_remote, other_remote) = remotes.split_at(remotes.len() / 2);
             let mk = |rack_nodes: Vec<NodeId>, remote_nodes: Vec<NodeId>| {
                 Box::new(HadoopApp::new(HadoopConfig {
                     rack_nodes,
@@ -568,10 +565,7 @@ mod tests {
         let s = run_scenario(RackType::Web, 3, 80);
         let up = uplink_tx_bytes(&s);
         let down = rack_tx_bytes(&s);
-        assert!(
-            down > up,
-            "web fan-in should dominate: up={up} down={down}"
-        );
+        assert!(down > up, "web fan-in should dominate: up={up} down={down}");
     }
 
     #[test]

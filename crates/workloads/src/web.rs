@@ -367,7 +367,11 @@ mod tests {
         sim.run_until(Nanos::from_millis(100));
 
         let user_app = sim.node::<AppHost>(user).app::<UserGenApp>();
-        assert!(user_app.requests_sent >= 100, "user sent {} requests", user_app.requests_sent);
+        assert!(
+            user_app.requests_sent >= 100,
+            "user sent {} requests",
+            user_app.requests_sent
+        );
         let web_app = sim.node::<AppHost>(web).app::<WebServerApp>();
         assert!(
             web_app.pages_served >= user_app.pages_received,

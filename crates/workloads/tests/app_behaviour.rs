@@ -60,14 +60,12 @@ fn train_length_preserves_group_rate() {
     // Same configured group rate with trains of 1 vs trains of 4 must yield
     // comparable total groups over a long window.
     let groups_with = |train: (usize, usize)| {
-        let (mut sim, _servers, frontend) = star_with_frontend(8, |servers| {
-            CacheFrontendConfig {
-                cache_nodes: servers,
-                pods: contiguous_pods(8, 4),
-                rate_per_s: 5_000.0,
-                train,
-                ..CacheFrontendConfig::default()
-            }
+        let (mut sim, _servers, frontend) = star_with_frontend(8, |servers| CacheFrontendConfig {
+            cache_nodes: servers,
+            pods: contiguous_pods(8, 4),
+            rate_per_s: 5_000.0,
+            train,
+            ..CacheFrontendConfig::default()
         });
         sim.run_until(Nanos::from_millis(400));
         sim.node::<AppHost>(frontend)

@@ -10,7 +10,7 @@ use uburst::prelude::*;
 fn survey(rack_type: RackType, seed: u64) -> (f64, f64, f64, f64, f64) {
     let mut cfg = ScenarioConfig::new(rack_type, seed);
     cfg.hour = 20.0; // evening peak
-    // Cache bursts live on the uplinks; Web/Hadoop burst toward servers.
+                     // Cache bursts live on the uplinks; Web/Hadoop burst toward servers.
     let port = match rack_type {
         RackType::Cache => PortId(cfg.n_servers as u16),
         _ => PortId(2),
@@ -26,12 +26,20 @@ fn survey(rack_type: RackType, seed: u64) -> (f64, f64, f64, f64, f64) {
     s.sim.run_until(warmup);
     let campaign =
         CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
-    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed);
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed)
+        .expect("valid campaign");
     let stop = warmup + Nanos::from_millis(250);
-    let id = poller.spawn(&mut s.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
 
-    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    let series = &s
+        .sim
+        .node_mut::<Poller>(id)
+        .take_series()
+        .expect("in-memory")[0]
+        .1;
     let utils = series.utilization(bps);
     let analysis = extract_bursts(&utils, HOT_THRESHOLD);
     let chain = hot_chain(&utils, HOT_THRESHOLD);
@@ -49,7 +57,13 @@ fn survey(rack_type: RackType, seed: u64) -> (f64, f64, f64, f64, f64) {
         );
         (e.quantile(0.5), e.quantile(0.9))
     };
-    (mean_util, analysis.hot_fraction(), p50, p90, m.likelihood_ratio())
+    (
+        mean_util,
+        analysis.hot_fraction(),
+        p50,
+        p90,
+        m.likelihood_ratio(),
+    )
 }
 
 fn main() {

@@ -21,7 +21,7 @@ fn main() {
 
     // The collector service: 2 worker threads, a bounded queue of 256
     // batches (backpressure instead of loss).
-    let (collector, tx) = Collector::start(2, 256);
+    let (collector, tx) = Collector::start(2, 256).expect("collector starts");
 
     for (i, (rack_type, seed)) in fleet.iter().enumerate() {
         let mut s = build_scenario(ScenarioConfig::new(*rack_type, *seed));
@@ -53,9 +53,12 @@ fn main() {
             campaign,
             *seed,
             Box::new(sink),
-        );
+        )
+        .expect("valid campaign");
         let stop = warmup + Nanos::from_millis(120);
-        let id = poller.spawn(&mut s.sim, warmup, stop);
+        let id = poller
+            .spawn(&mut s.sim, warmup, stop)
+            .expect("valid window");
         s.sim.run_until(stop + Nanos::from_millis(1));
 
         let stats = s.sim.node_mut::<Poller>(id).stats();
@@ -69,9 +72,11 @@ fn main() {
 
     // Structured shutdown: drop the last sender, then join the workers.
     drop(tx);
-    let (store, batches) = collector.shutdown();
+    let (store, report) = collector.shutdown().expect("clean shutdown");
     println!(
-        "collector ingested {batches} batches, {} samples across {} series",
+        "collector ingested {} batches ({} quarantined), {} samples across {} series",
+        report.ingested,
+        report.quarantined,
         store.total_samples(),
         store.keys().len()
     );

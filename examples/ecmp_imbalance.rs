@@ -20,12 +20,19 @@ fn measure(mode: EcmpMode) -> (f64, f64, f64) {
     s.sim.run_until(warmup);
     let counters: Vec<CounterId> = uplinks.iter().map(|&p| CounterId::TxBytes(p)).collect();
     let campaign = CampaignConfig::group("uplinks", counters.clone(), Nanos::from_micros(40));
-    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 5);
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 5)
+        .expect("valid campaign");
     let stop = warmup + Nanos::from_millis(200);
-    let id = poller.spawn(&mut s.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
 
-    let series = s.sim.node_mut::<Poller>(id).take_series();
+    let series = s
+        .sim
+        .node_mut::<Poller>(id)
+        .take_series()
+        .expect("in-memory");
     let utils: Vec<Vec<f64>> = series
         .iter()
         .map(|(_, s)| s.utilization(uplink_bps).iter().map(|u| u.util).collect())

@@ -27,14 +27,22 @@ fn main() {
     let span = Nanos::from_millis(200);
     let campaign =
         CampaignConfig::single("tx-bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
-    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 7);
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 7)
+        .expect("valid campaign");
     let stop = warmup + span;
-    let poller_id = poller.spawn(&mut s.sim, warmup, stop);
+    let poller_id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
 
     // Pull the samples out and do the paper's analysis.
     let stats = s.sim.node_mut::<Poller>(poller_id).stats();
-    let series = &s.sim.node_mut::<Poller>(poller_id).take_series()[0].1;
+    let series = &s
+        .sim
+        .node_mut::<Poller>(poller_id)
+        .take_series()
+        .expect("in-memory")[0]
+        .1;
     let utils = series.utilization(s.server_link_bps());
     let bursts = extract_bursts(&utils, HOT_THRESHOLD);
 

@@ -16,7 +16,10 @@ fn main() {
     let duration = Nanos::from_millis(300);
 
     println!("loss curve for a single byte counter (dedicated core):");
-    println!("{:>10}  {:>15}  {:>12}", "interval", "empty_intervals", "late_samples");
+    println!(
+        "{:>10}  {:>15}  {:>12}",
+        "interval", "empty_intervals", "late_samples"
+    );
     for us in [1u64, 2, 5, 10, 15, 25, 50] {
         let (miss, late) = probe_loss_profile(
             &[CounterId::TxBytes(PortId(0))],

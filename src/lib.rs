@@ -36,13 +36,14 @@
 //!     AccessModel::default(),
 //!     campaign,
 //!     7,
-//! );
+//! )
+//! .unwrap();
 //! let stop = warmup + Nanos::from_millis(10);
-//! let id = poller.spawn(&mut s.sim, warmup, stop);
+//! let id = poller.spawn(&mut s.sim, warmup, stop).unwrap();
 //! s.sim.run_until(stop + Nanos::from_millis(1));
 //!
 //! // Convert to utilization and extract bursts, paper-style.
-//! let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+//! let series = &s.sim.node_mut::<Poller>(id).take_series().unwrap()[0].1;
 //! let utils = series.utilization(s.server_link_bps());
 //! let bursts = extract_bursts(&utils, HOT_THRESHOLD);
 //! assert!(bursts.total_samples > 300);
@@ -60,15 +61,17 @@ pub use uburst_workloads as workloads;
 /// Everything a typical experiment needs, one import away.
 pub mod prelude {
     pub use uburst_analysis::{
-        correlation_matrix, extract_bursts, fit_transition_matrix, grouped_summaries,
-        hot_chain, hot_port_counts, ks_test_exponential, mad_per_period, pearson,
-        relative_mad, to_windows, Ecdf, Summary, HOT_THRESHOLD,
+        correlation_matrix, extract_bursts, fit_transition_matrix, grouped_summaries, hot_chain,
+        hot_port_counts, ks_test_exponential, mad_per_period, pearson, relative_mad, to_windows,
+        Ecdf, Summary, HOT_THRESHOLD,
     };
     pub use uburst_asic::{AccessModel, AsicCounters, CounterId, StorageClass};
+    pub use uburst_asic::{FaultInjector, FaultPlan, FaultStats};
     pub use uburst_core::{
         tune_min_interval, Batch, BatchPolicy, CampaignConfig, ChannelSink, Collector,
-        CoreMode, MemorySink, Poller, PollerStats, SampleStore, Series, SourceId,
-        TuningConfig, UtilSample,
+        CollectorError, CollectorHealth, CollectorReport, CoreMode, DegradationPolicy, DegradeMode,
+        MemorySink, PollError, Poller, PollerStats, QuarantineReason, RetryPolicy, SampleStore,
+        Series, ShipPolicy, SourceId, TuningConfig, UtilSample, WrapDecoder,
     };
     pub use uburst_sim::prelude::*;
     pub use uburst_workloads::{

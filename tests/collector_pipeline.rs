@@ -7,7 +7,7 @@ use uburst::telemetry::{BatchPolicy, ChannelSink, Collector, SourceId};
 
 #[test]
 fn every_sample_reaches_the_store() {
-    let (collector, tx) = Collector::start(3, 32);
+    let (collector, tx) = Collector::start(3, 32).expect("collector starts");
     let mut expected = Vec::new();
 
     for (i, rack_type) in RackType::ALL.iter().enumerate() {
@@ -33,17 +33,22 @@ fn every_sample_reaches_the_store() {
             campaign,
             99,
             Box::new(sink),
-        );
+        )
+        .expect("valid campaign");
         let stop = warmup + Nanos::from_millis(40);
-        let id = poller.spawn(&mut s.sim, warmup, stop);
+        let id = poller
+            .spawn(&mut s.sim, warmup, stop)
+            .expect("valid window");
         s.sim.run_until(stop + Nanos::from_millis(1));
         let polls = s.sim.node_mut::<Poller>(id).stats().polls;
         expected.push((SourceId(i as u32), port, polls));
     }
 
     drop(tx);
-    let (store, batches) = collector.shutdown();
-    assert!(batches > 0);
+    let (store, report) = collector.shutdown().expect("clean shutdown");
+    assert!(report.ingested > 0);
+    assert_eq!(report.quarantined, 0);
+    assert_eq!(report.restarts, 0);
 
     for (source, port, polls) in expected {
         for counter in [CounterId::TxBytes(port), CounterId::RxBytes(port)] {
@@ -69,7 +74,7 @@ fn every_sample_reaches_the_store() {
 
 #[test]
 fn csv_export_round_trips_sample_counts() {
-    let (collector, tx) = Collector::start(1, 8);
+    let (collector, tx) = Collector::start(1, 8).expect("collector starts");
     let mut s = build_scenario(ScenarioConfig::new(RackType::Web, 123));
     let warmup = s.recommended_warmup();
     s.sim.run_until(warmup);
@@ -88,9 +93,12 @@ fn csv_export_round_trips_sample_counts() {
         CampaignConfig::group("csv", counters, Nanos::from_micros(100)),
         1,
         Box::new(sink),
-    );
+    )
+    .expect("valid campaign");
     let stop = warmup + Nanos::from_millis(20);
-    let id = poller.spawn(&mut s.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
     let polls = s.sim.node_mut::<Poller>(id).stats().polls as usize;
 
@@ -99,7 +107,7 @@ fn csv_export_round_trips_sample_counts() {
     // observe disconnection.
     drop(s);
     drop(tx);
-    let (store, _) = collector.shutdown();
+    let (store, _) = collector.shutdown().expect("clean shutdown");
     let mut csv = Vec::new();
     store.export_csv(&mut csv).expect("export");
     let text = String::from_utf8(csv).expect("utf8");

@@ -17,12 +17,20 @@ fn measured_rack(
     let port = s.host_ports()[1];
     let campaign =
         CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
-    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed);
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed)
+        .expect("valid campaign");
     let stop = warmup + span;
-    let id = poller.spawn(&mut s.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
     let stats = s.sim.node_mut::<Poller>(id).stats();
-    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    let series = &s
+        .sim
+        .node_mut::<Poller>(id)
+        .take_series()
+        .expect("in-memory")[0]
+        .1;
     let utils = series.utilization(s.server_link_bps());
     (s, stats, utils)
 }
@@ -128,10 +136,7 @@ fn burst_analysis_is_consistent_with_raw_utils() {
     let samples_in_bursts: usize = analysis.bursts.iter().map(|b| b.samples).sum();
     assert_eq!(samples_in_bursts, hot_direct);
     // Gaps fit strictly between bursts.
-    assert_eq!(
-        analysis.gaps.len(),
-        analysis.bursts.len().saturating_sub(1)
-    );
+    assert_eq!(analysis.gaps.len(), analysis.bursts.len().saturating_sub(1));
 }
 
 #[test]

@@ -46,7 +46,10 @@ fn ecn_scenario_reduces_drops_at_same_load() {
     };
     let plain = drops_with(false);
     let ecn = drops_with(true);
-    assert!(plain > 50, "baseline must drop under load 2.0 (got {plain})");
+    assert!(
+        plain > 50,
+        "baseline must drop under load 2.0 (got {plain})"
+    );
     assert!(
         ecn * 2 < plain,
         "ECN should at least halve drops: {ecn} vs {plain}"
@@ -76,9 +79,7 @@ fn fabric_instrumentation_counts_real_traffic() {
     let fabric_counter_rx: u64 = s
         .fabric_counters
         .iter()
-        .map(|fc| {
-            fc.read(CounterId::RxBytes(PortId(0))) + fc.read(CounterId::RxBytes(PortId(1)))
-        })
+        .map(|fc| fc.read(CounterId::RxBytes(PortId(0))) + fc.read(CounterId::RxBytes(PortId(1))))
         .sum();
     assert_eq!(fabric_stats_rx, fabric_counter_rx);
 }
@@ -100,7 +101,10 @@ fn fct_records_flow_through_scenarios() {
             total += 1;
         }
     }
-    assert!(total > 500, "cache servers completed {total} response flows");
+    assert!(
+        total > 500,
+        "cache servers completed {total} response flows"
+    );
 }
 
 #[test]
@@ -113,17 +117,21 @@ fn pacing_reduces_hot_fraction_end_to_end() {
         let mut s = build_scenario(cfg);
         let warmup = s.recommended_warmup();
         s.sim.run_until(warmup);
-        let campaign = CampaignConfig::single(
-            "bytes",
-            CounterId::TxBytes(uplink),
-            Nanos::from_micros(25),
-        );
-        let poller =
-            Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 5);
+        let campaign =
+            CampaignConfig::single("bytes", CounterId::TxBytes(uplink), Nanos::from_micros(25));
+        let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, 5)
+            .expect("valid campaign");
         let stop = warmup + Nanos::from_millis(120);
-        let id = poller.spawn(&mut s.sim, warmup, stop);
+        let id = poller
+            .spawn(&mut s.sim, warmup, stop)
+            .expect("valid window");
         s.sim.run_until(stop + Nanos::from_millis(1));
-        let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+        let series = &s
+            .sim
+            .node_mut::<Poller>(id)
+            .take_series()
+            .expect("in-memory")[0]
+            .1;
         extract_bursts(&series.utilization(bps), HOT_THRESHOLD).hot_fraction()
     };
     let unpaced = hot_with(None);

@@ -1,0 +1,148 @@
+//! Acceptance tests for the fault-injection and graceful-degradation
+//! layer: a 25 µs campaign under realistic hardware faults must complete
+//! without stalls, reconstruct rates the wrap decoder cannot distinguish
+//! from fault-free hardware, and account for every injected fault.
+
+use uburst::prelude::*;
+
+/// Runs a 25 µs byte campaign on one Hadoop ToR port, optionally under a
+/// fault plan; returns the poller's stats, fault stats, and the series.
+fn faulted_rack(seed: u64, plan: Option<FaultPlan>) -> (PollerStats, Option<FaultStats>, Series) {
+    let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, seed));
+    let warmup = s.recommended_warmup();
+    s.sim.run_until(warmup);
+    let port = s.host_ports()[1];
+    let campaign =
+        CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
+    let mut poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed)
+        .expect("valid campaign");
+    if let Some(plan) = plan {
+        poller = poller.with_faults(FaultInjector::new(plan));
+    }
+    let stop = warmup + Nanos::from_millis(100);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
+    s.sim.run_until(stop + Nanos::from_millis(1));
+    let p = s.sim.node_mut::<Poller>(id);
+    let stats = p.stats();
+    let faults = p.fault_stats();
+    let series = p.take_series().expect("in-memory")[0].1.clone();
+    (stats, faults, series)
+}
+
+fn mean_rate(s: &Series) -> f64 {
+    let dv = s.vs.last().unwrap() - s.vs[0];
+    let dt = Nanos(s.ts.last().unwrap() - s.ts[0]).as_secs_f64();
+    dv as f64 / dt
+}
+
+#[test]
+fn faulted_campaign_matches_fault_free_within_one_percent() {
+    // The ISSUE acceptance bar: 1% transient failures + 32-bit counter
+    // wrap, 25us campaign — completes, and reconstructed rates land within
+    // 1% of the fault-free run on the identical rack.
+    let (clean_stats, _, clean) = faulted_rack(17, None);
+    let plan = FaultPlan::none(0xFA17)
+        .with_transient_failure(0.01)
+        .with_counter_bits(32);
+    let (stats, faults, series) = faulted_rack(17, Some(plan));
+    let faults = faults.expect("injector attached");
+
+    // The campaign ran to completion at full length: no stall, no panic.
+    assert!(stats.polls > 3_500, "only {} polls", stats.polls);
+    assert!(stats.stopped_at > stats.started_at);
+
+    // Wrap decoding: the series is monotone despite dozens of 32-bit reads.
+    assert!(series.vs.windows(2).all(|w| w[1] >= w[0]), "wrap glitch");
+
+    // Accuracy: within 1% of fault-free.
+    let err = (mean_rate(&series) - mean_rate(&clean)).abs() / mean_rate(&clean);
+    assert!(err < 0.01, "rate error {:.3}% vs fault-free", err * 100.0);
+
+    // Loss stays near the fault-free Table-1 level (retries absorb faults).
+    let loss = |s: &PollerStats| {
+        (s.missed_deadlines + s.abandoned_polls()) as f64 / (s.polls + s.missed_deadlines) as f64
+    };
+    assert!(
+        loss(&stats) < loss(&clean_stats) + 0.05,
+        "faults blew up sampling loss: {:.2}% vs {:.2}%",
+        loss(&stats) * 100.0,
+        loss(&clean_stats) * 100.0
+    );
+
+    // Accounting: every injected fault shows up in the poller's books.
+    assert!(stats.read_errors > 0, "1% plan injected nothing in 100ms");
+    assert_eq!(faults.bus_timeouts, stats.read_errors);
+    assert_eq!(faults.stale_values, stats.stale_reads);
+    assert_eq!(stats.read_errors, stats.retries + stats.abandoned_polls());
+}
+
+#[test]
+fn faulted_campaign_is_deterministic_from_its_seeds() {
+    let plan = FaultPlan::none(0xFA17)
+        .with_transient_failure(0.02)
+        .with_stale_read(0.01)
+        .with_counter_bits(32);
+    let (sa, fa, a) = faulted_rack(23, Some(plan));
+    let (sb, fb, b) = faulted_rack(23, Some(plan));
+    assert_eq!(sa, sb);
+    assert_eq!(fa, fb);
+    assert_eq!(a.ts, b.ts);
+    assert_eq!(a.vs, b.vs);
+}
+
+#[test]
+fn hardened_pipeline_ships_faulted_samples_through_the_collector() {
+    // End to end: faulted poller -> bounded channel -> supervised collector
+    // -> store. Nothing may be quarantined or lost, and the shipped series
+    // must equal what an in-memory sink would have recorded.
+    let mut s = build_scenario(ScenarioConfig::new(RackType::Web, 29));
+    let warmup = s.recommended_warmup();
+    s.sim.run_until(warmup);
+    let port = s.host_ports()[0];
+    let campaign =
+        CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(50));
+    let (collector, tx) = Collector::start(2, 64).expect("collector starts");
+    let sink = ChannelSink::new(
+        SourceId(7),
+        "bytes",
+        vec![CounterId::TxBytes(port)],
+        BatchPolicy {
+            max_samples: 128,
+            max_age: Nanos::from_millis(2),
+        },
+        tx,
+    );
+    let plan = FaultPlan::none(5)
+        .with_transient_failure(0.01)
+        .with_counter_bits(32);
+    let poller = Poller::new(
+        s.counters.clone(),
+        AccessModel::default(),
+        campaign,
+        29,
+        Box::new(sink),
+    )
+    .expect("valid campaign")
+    .with_faults(FaultInjector::new(plan));
+    let stop = warmup + Nanos::from_millis(60);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
+    s.sim.run_until(stop + Nanos::from_millis(1));
+    let polls = s.sim.node_mut::<Poller>(id).stats().polls;
+    drop(s); // drops the poller's sink, flushing and closing the channel
+
+    let (store, report) = collector.shutdown().expect("clean shutdown");
+    assert_eq!(
+        report.quarantined, 0,
+        "well-formed batches were quarantined"
+    );
+    assert_eq!(report.restarts, 0);
+    let got = store
+        .series(SourceId(7), CounterId::TxBytes(port))
+        .expect("series shipped");
+    assert_eq!(got.len() as u64, polls, "samples lost in the pipeline");
+    assert!(got.vs.windows(2).all(|w| w[1] >= w[0]), "wrap glitch");
+}

@@ -22,11 +22,19 @@ fn port_utils(rack_type: RackType, seed: u64, uplink: bool) -> Vec<UtilSample> {
     s.sim.run_until(warmup);
     let campaign =
         CampaignConfig::single("bytes", CounterId::TxBytes(port), Nanos::from_micros(25));
-    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed);
+    let poller = Poller::in_memory(s.counters.clone(), AccessModel::default(), campaign, seed)
+        .expect("valid campaign");
     let stop = warmup + Nanos::from_millis(150);
-    let id = poller.spawn(&mut s.sim, warmup, stop);
+    let id = poller
+        .spawn(&mut s.sim, warmup, stop)
+        .expect("valid window");
     s.sim.run_until(stop + Nanos::from_millis(1));
-    let series = &s.sim.node_mut::<Poller>(id).take_series()[0].1;
+    let series = &s
+        .sim
+        .node_mut::<Poller>(id)
+        .take_series()
+        .expect("in-memory")[0]
+        .1;
     series.utilization(bps)
 }
 
