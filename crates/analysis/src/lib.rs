@@ -15,6 +15,7 @@
 //! | Packet-size histograms inside/outside bursts (Fig. 5) | [`histogram`] |
 //! | Boxplots vs. hot-port count (Fig. 10) | [`summary`] |
 //! | Coarse SNMP-style windows (Figs. 1, 2) | [`resample`] |
+//! | O(n) nearest-rank quantiles for hot paths | [`quantile`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,7 @@ pub mod kstest;
 pub mod mad;
 pub mod markov;
 pub mod pearson;
+pub mod quantile;
 pub mod resample;
 pub mod summary;
 
@@ -36,5 +38,6 @@ pub use kstest::{kolmogorov_sf, ks_test_exponential, KsResult};
 pub use mad::{coarsen, mad_per_period, relative_mad};
 pub use markov::{fit_transition_matrix, TransitionMatrix};
 pub use pearson::{correlation_matrix, mean_offdiagonal, pearson};
+pub use quantile::{median, quantile, quantiles};
 pub use resample::{to_windows, Window};
 pub use summary::{grouped_summaries, Summary};

@@ -33,6 +33,14 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Full correlation matrix across several aligned series — the server ×
 /// server heatmap of Fig. 8.
 ///
+/// Calling [`pearson`] per pair re-derives each series' mean and centered
+/// values once per *pair* — O(k²·n) redundant passes for a 24×24 heatmap.
+/// This computes each series' centered values and variance exactly once
+/// (O(k·n)), leaving only the irreducible O(k²·n) dot products. The
+/// per-element operations and their order match [`pearson`]'s, so every
+/// entry is bit-identical to the naive pairwise evaluation (asserted by
+/// `matches_naive_pairwise_pearson` below).
+///
 /// # Panics
 /// Panics if series lengths differ.
 pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
@@ -42,11 +50,33 @@ pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
     }
     let n = series[0].len();
     assert!(series.iter().all(|s| s.len() == n), "unaligned series");
+
+    // One pass per series: mean, centered values, and sum of squares, each
+    // accumulated in the same order pearson() would.
+    let mut centered: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let mut sq_norms: Vec<f64> = Vec::with_capacity(k);
+    for s in series {
+        let m = s.iter().sum::<f64>() / n as f64;
+        let c: Vec<f64> = s.iter().map(|&x| x - m).collect();
+        sq_norms.push(c.iter().map(|&d| d * d).sum::<f64>());
+        centered.push(c);
+    }
+    let norms: Vec<f64> = sq_norms.iter().map(|&s| s.sqrt()).collect();
+
     let mut m = vec![vec![0.0; k]; k];
     for i in 0..k {
         m[i][i] = 1.0;
         for j in (i + 1)..k {
-            let r = pearson(&series[i], &series[j]);
+            let r = if sq_norms[i] == 0.0 || sq_norms[j] == 0.0 {
+                0.0
+            } else {
+                let sxy: f64 = centered[i]
+                    .iter()
+                    .zip(&centered[j])
+                    .map(|(&dx, &dy)| dx * dy)
+                    .sum();
+                (sxy / (norms[i] * norms[j])).clamp(-1.0, 1.0)
+            };
             m[i][j] = r;
             m[j][i] = r;
         }
@@ -135,6 +165,48 @@ mod tests {
     #[test]
     fn empty_matrix_ok() {
         assert!(correlation_matrix(&[]).is_empty());
+    }
+
+    /// The optimized matrix must equal the naive per-pair evaluation
+    /// **exactly** (same float ops in the same order), not just within an
+    /// epsilon — Fig. 8's report strings depend on it.
+    #[test]
+    fn matches_naive_pairwise_pearson() {
+        // Deterministic pseudo-random series, including a constant one to
+        // exercise the zero-variance path.
+        let k = 9;
+        let n = 257;
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut series: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        series[4] = vec![0.375; n];
+
+        let fast = correlation_matrix(&series);
+        for i in 0..k {
+            for j in 0..k {
+                let naive = if i == j {
+                    1.0
+                } else {
+                    pearson(&series[i], &series[j])
+                };
+                assert_eq!(
+                    fast[i][j].to_bits(),
+                    naive.to_bits(),
+                    "entry ({i},{j}): fast {} != naive {naive}",
+                    fast[i][j]
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Selection-based quantiles for callers that never need the full [`Ecdf`].
+//!
+//! [`Ecdf::new`](crate::Ecdf::new) sorts its sample — O(n log n) — which is
+//! the right tool when a harness then evaluates a whole CDF curve. But the
+//! hot paths that ask for a single p50/p90 (auto-tuning probes, ablation
+//! sweeps, bench kernels) pay the full sort for one order statistic. These
+//! functions use `select_nth_unstable` (introselect, O(n)) instead, with
+//! the **same nearest-rank semantics**: for any sample and any `q`,
+//! `quantile(&mut xs, q) == Ecdf::new(xs).quantile(q)` (asserted by
+//! `agrees_with_ecdf_quantile` below).
+
+/// The `q`-quantile of `xs` by the nearest-rank method, in O(n) via
+/// selection. Reorders `xs` (that is what makes it cheap — no allocation,
+/// no full sort).
+///
+/// # Panics
+/// Panics on an empty sample, a NaN observation, or `q` outside [0, 1].
+pub fn quantile(xs: &mut [f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let n = xs.len();
+    // Nearest rank, exactly as Ecdf::quantile: rank ceil(q*n) clamped to
+    // [1, n], 1-indexed; q = 0 means the minimum.
+    let rank = if q == 0.0 {
+        1
+    } else {
+        (q * n as f64).ceil() as usize
+    };
+    let idx = rank.clamp(1, n) - 1;
+    *xs.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("NaN observation"))
+        .1
+}
+
+/// Several quantiles of one sample in a single call, returned in the order
+/// requested. Sorts once when that beats repeated selection.
+///
+/// # Panics
+/// As [`quantile`].
+pub fn quantiles(xs: &mut [f64], qs: &[f64]) -> Vec<f64> {
+    // Repeated selection is O(k·n); a sort is O(n log n). For the small
+    // k (2–4) the harnesses use, selection wins until k ~ log n.
+    if qs.len() as f64 > (xs.len().max(2) as f64).log2() {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        let n = xs.len();
+        assert!(n > 0, "empty sample");
+        qs.iter()
+            .map(|&q| {
+                assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+                let rank = if q == 0.0 {
+                    1
+                } else {
+                    (q * n as f64).ceil() as usize
+                };
+                xs[rank.clamp(1, n) - 1]
+            })
+            .collect()
+    } else {
+        qs.iter().map(|&q| quantile(xs, q)).collect()
+    }
+}
+
+/// The sample median, in O(n).
+pub fn median(xs: &mut [f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ecdf;
+
+    fn lcg_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    /// The whole contract: selection must reproduce Ecdf::quantile exactly,
+    /// for every rank, including edge qs and heavily tied samples.
+    #[test]
+    fn agrees_with_ecdf_quantile() {
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        for n in [1usize, 2, 3, 10, 101, 1024] {
+            for seed in [1u64, 42] {
+                let sample = lcg_sample(n, seed);
+                let tied: Vec<f64> = sample.iter().map(|x| (x * 4.0).round()).collect();
+                for xs in [sample, tied] {
+                    let e = Ecdf::new(xs.clone());
+                    for &q in &qs {
+                        let mut scratch = xs.clone();
+                        assert_eq!(
+                            quantile(&mut scratch, q).to_bits(),
+                            e.quantile(q).to_bits(),
+                            "n={n} seed={seed} q={q}"
+                        );
+                    }
+                    let mut scratch = xs.clone();
+                    let many = quantiles(&mut scratch, &qs);
+                    for (&q, &v) in qs.iter().zip(&many) {
+                        assert_eq!(v.to_bits(), e.quantile(q).to_bits(), "batched q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let mut xs = vec![9.0, 1.0, 5.0];
+        assert_eq!(median(&mut xs), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_rejected() {
+        quantile(&mut [], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn out_of_range_rejected() {
+        quantile(&mut [1.0], 1.5);
+    }
+}

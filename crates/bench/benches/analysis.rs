@@ -11,11 +11,14 @@ use uburst_analysis::{
     correlation_matrix, extract_bursts, fit_transition_matrix, hot_chain, ks_test_exponential,
     mad_per_period, Ecdf, HOT_THRESHOLD,
 };
+use uburst_bench::benchjson::BenchRecorder;
+use uburst_bench::scale::Scale;
 use uburst_core::series::UtilSample;
 use uburst_sim::rng::Rng;
 use uburst_sim::time::Nanos;
 
-fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
+    let iters = Scale::from_env().bench_iters(iters);
     let mut sink = black_box(f()); // warmup
     let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -30,6 +33,7 @@ fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
         median * 1e3,
         times[0] * 1e3
     );
+    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
     black_box(sink);
     median
 }
@@ -61,22 +65,27 @@ fn synth_utils(n: usize, seed: u64) -> Vec<UtilSample> {
 }
 
 fn main() {
+    let mut rec = BenchRecorder::new("analysis");
     let utils = synth_utils(1_000_000, 1);
-    bench("extract_bursts_1M", 20, || {
+    bench(&mut rec, "extract_bursts_1M", 20, || {
         extract_bursts(&utils, HOT_THRESHOLD).bursts.len() as u64
     });
     let chain = hot_chain(&utils, HOT_THRESHOLD);
-    bench("markov_fit_1M", 20, || {
+    bench(&mut rec, "markov_fit_1M", 20, || {
         fit_transition_matrix(&chain).likelihood_ratio() as u64
     });
 
     let mut rng = Rng::new(2);
     let xs: Vec<f64> = (0..1_000_000).map(|_| rng.exp(100.0)).collect();
-    bench("ecdf_build_1M", 20, || {
+    bench(&mut rec, "ecdf_build_1M", 20, || {
         Ecdf::new(xs.clone()).quantile(0.9) as u64
     });
+    bench(&mut rec, "quantile_select_1M", 20, || {
+        let mut scratch = xs.clone();
+        uburst_analysis::quantile(&mut scratch, 0.9) as u64
+    });
     let smaller: Vec<f64> = xs.iter().take(100_000).copied().collect();
-    bench("ks_test_100k", 20, || {
+    bench(&mut rec, "ks_test_100k", 20, || {
         (ks_test_exponential(&smaller).p_value * 1e9) as u64
     });
 
@@ -85,11 +94,12 @@ fn main() {
     let series: Vec<Vec<f64>> = (0..24)
         .map(|_| (0..100_000).map(|_| rng.f64()).collect())
         .collect();
-    bench("pearson_matrix_24x100k", 10, || {
+    bench(&mut rec, "pearson_matrix_24x100k", 10, || {
         (correlation_matrix(&series)[0][1] * 1e9) as u64
     });
     let uplinks: Vec<Vec<f64>> = series[..4].to_vec();
-    bench("mad_per_period_4x100k", 10, || {
+    bench(&mut rec, "mad_per_period_4x100k", 10, || {
         mad_per_period(&uplinks).len() as u64
     });
+    rec.flush();
 }

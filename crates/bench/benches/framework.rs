@@ -9,6 +9,8 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use uburst_asic::{AccessModel, AsicCounters, CounterId};
+use uburst_bench::benchjson::BenchRecorder;
+use uburst_bench::scale::Scale;
 use uburst_core::batch::{Batch, BatchPolicy, Batcher, SourceId};
 use uburst_core::collector::Collector;
 use uburst_core::poller::Poller;
@@ -20,7 +22,8 @@ use uburst_sim::node::{NodeId, PortId};
 use uburst_sim::sim::Simulator;
 use uburst_sim::time::Nanos;
 
-fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
+    let iters = Scale::from_env().bench_iters(iters);
     let mut sink = black_box(f()); // warmup
     let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -35,12 +38,13 @@ fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
         median * 1e3,
         times[0] * 1e3
     );
+    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
     black_box(sink);
     median
 }
 
-fn bench_event_queue() {
-    bench("schedule_pop_10k", 50, || {
+fn bench_event_queue(rec: &mut BenchRecorder) {
+    bench(rec, "schedule_pop_10k", 50, || {
         let mut q = EventQueue::new();
         for i in 0..10_000u64 {
             q.schedule(
@@ -59,15 +63,15 @@ fn bench_event_queue() {
     });
 }
 
-fn bench_counter_ops() {
+fn bench_counter_ops(rec: &mut BenchRecorder) {
     let bank = AsicCounters::new(32);
-    bench("count_tx_1M", 20, || {
+    bench(rec, "count_tx_1M", 20, || {
         for _ in 0..1_000_000u32 {
             bank.count_tx(black_box(PortId(3)), black_box(1500));
         }
         bank.read(CounterId::TxBytes(PortId(3)))
     });
-    bench("read_byte_counter_1M", 20, || {
+    bench(rec, "read_byte_counter_1M", 20, || {
         let mut acc = 0u64;
         for _ in 0..1_000_000u32 {
             acc = acc.wrapping_add(bank.read(black_box(CounterId::TxBytes(PortId(3)))));
@@ -76,7 +80,7 @@ fn bench_counter_ops() {
     });
     let access = AccessModel::default();
     let ids: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
-    bench("poll_cost_model_4x1M", 20, || {
+    bench(rec, "poll_cost_model_4x1M", 20, || {
         let mut acc = 0u64;
         for _ in 0..1_000_000u32 {
             acc = acc.wrapping_add(access.poll_cost(black_box(&ids)).as_nanos());
@@ -85,9 +89,9 @@ fn bench_counter_ops() {
     });
 }
 
-fn bench_poller_loop() {
+fn bench_poller_loop(rec: &mut BenchRecorder) {
     // Host cost of simulating one second of 25us polling on an idle bank.
-    bench("simulate_1s_at_25us", 20, || {
+    bench(rec, "simulate_1s_at_25us", 20, || {
         let mut sim = Simulator::new();
         let bank = AsicCounters::new_shared(4);
         let poller = Poller::in_memory(
@@ -109,8 +113,8 @@ fn bench_poller_loop() {
     });
 }
 
-fn bench_batcher() {
-    bench("record_10k_samples", 50, || {
+fn bench_batcher(rec: &mut BenchRecorder) {
+    bench(rec, "record_10k_samples", 50, || {
         let mut batcher = Batcher::new(
             SourceId(0),
             "bench",
@@ -125,7 +129,7 @@ fn bench_batcher() {
     });
 }
 
-fn bench_collector() {
+fn bench_collector(rec: &mut BenchRecorder) {
     let make_batch = |k: u64| {
         let mut s = Series::new();
         for i in 0..1_000u64 {
@@ -138,7 +142,7 @@ fn bench_collector() {
             samples: s,
         }
     };
-    bench("ingest_100_batches_of_1k", 20, || {
+    bench(rec, "ingest_100_batches_of_1k", 20, || {
         let (collector, tx) = Collector::start(2, 64).expect("collector starts");
         for k in 0..100u64 {
             tx.send(make_batch(k)).expect("send");
@@ -150,9 +154,11 @@ fn bench_collector() {
 }
 
 fn main() {
-    bench_event_queue();
-    bench_counter_ops();
-    bench_poller_loop();
-    bench_batcher();
-    bench_collector();
+    let mut rec = BenchRecorder::new("framework");
+    bench_event_queue(&mut rec);
+    bench_counter_ops(&mut rec);
+    bench_poller_loop(&mut rec);
+    bench_batcher(&mut rec);
+    bench_collector(&mut rec);
+    rec.flush();
 }

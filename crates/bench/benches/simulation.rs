@@ -7,10 +7,13 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use uburst_bench::benchjson::BenchRecorder;
+use uburst_bench::scale::Scale;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{build_scenario, RackType, ScenarioConfig};
 
-fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
+fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
+    let iters = Scale::from_env().bench_iters(iters);
     let mut sink = black_box(f()); // warmup
     let mut times = Vec::with_capacity(iters);
     for _ in 0..iters {
@@ -25,14 +28,16 @@ fn bench<F: FnMut() -> u64>(name: &str, iters: usize, mut f: F) -> f64 {
         median * 1e3,
         times[0] * 1e3
     );
+    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
     black_box(sink);
     median
 }
 
 fn main() {
+    let mut rec = BenchRecorder::new("simulation");
     println!("== simulate 20ms of each rack scenario ==");
     for rack_type in RackType::ALL {
-        bench(rack_type.name(), 10, || {
+        bench(&mut rec, rack_type.name(), 10, || {
             let mut s = build_scenario(ScenarioConfig::new(rack_type, 9));
             s.sim.run_until(Nanos::from_millis(20));
             s.sim.dispatched()
@@ -45,7 +50,7 @@ fn main() {
         s.sim.run_until(Nanos::from_millis(20));
         s.sim.dispatched()
     };
-    let median = bench("hadoop_20ms_events", 10, || {
+    let median = bench(&mut rec, "hadoop_20ms_events", 10, || {
         let mut s = build_scenario(ScenarioConfig::new(RackType::Hadoop, 9));
         s.sim.run_until(Nanos::from_millis(20));
         s.sim.dispatched()
@@ -55,4 +60,5 @@ fn main() {
         median * 1e3,
         events as f64 / median / 1e6
     );
+    rec.flush();
 }

@@ -1,0 +1,166 @@
+//! Machine-readable bench results.
+//!
+//! Each harness in `benches/` records its cases into a [`BenchRecorder`]
+//! and flushes them to `BENCH_<name>.json` next to the stdout report, so
+//! the repo accumulates a perf trajectory that CI can archive and diff.
+//! The format is a plain JSON array of rows:
+//!
+//! ```json
+//! [
+//!   {"case": "ecdf_build_100k", "median_ms": 4.812, "best_ms": 4.633, "iters": 30}
+//! ]
+//! ```
+//!
+//! Hand-rolled writer — the workspace is dependency-free by design.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One benchmark case's timing summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Case label, unique within the harness.
+    pub case: String,
+    /// Median wall-clock per iteration, milliseconds.
+    pub median_ms: f64,
+    /// Best (minimum) wall-clock per iteration, milliseconds.
+    pub best_ms: f64,
+    /// Iterations timed.
+    pub iters: u32,
+}
+
+/// Accumulates rows for one bench harness and writes `BENCH_<name>.json`.
+#[derive(Debug)]
+pub struct BenchRecorder {
+    name: &'static str,
+    rows: Vec<BenchRow>,
+}
+
+impl BenchRecorder {
+    /// A recorder for the harness called `name` (e.g. `"analysis"`).
+    pub fn new(name: &'static str) -> Self {
+        BenchRecorder {
+            name,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one case.
+    pub fn record(&mut self, case: &str, median_ms: f64, best_ms: f64, iters: u32) {
+        self.rows.push(BenchRow {
+            case: case.to_string(),
+            median_ms,
+            best_ms,
+            iters,
+        });
+    }
+
+    /// The rows recorded so far, in recording order.
+    pub fn rows(&self) -> &[BenchRow] {
+        &self.rows
+    }
+
+    /// The serialized JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"case\": {}, \"median_ms\": {}, \"best_ms\": {}, \"iters\": {}}}{}\n",
+                json_string(&row.case),
+                json_f64(row.median_ms),
+                json_f64(row.best_ms),
+                row.iters,
+                if i + 1 < self.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+
+    /// The output path: `$UBURST_BENCH_DIR/BENCH_<name>.json`, defaulting
+    /// to the current directory (the *package* root, `crates/bench/`, under
+    /// `cargo bench` — set `UBURST_BENCH_DIR` to collect elsewhere).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("UBURST_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes the JSON file, reporting the path on stdout. IO errors are
+    /// reported on stderr rather than panicking — a missing trajectory
+    /// file must not fail a bench run.
+    pub fn flush(&self) {
+        let path = self.path();
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(self.to_json().as_bytes()))
+        {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Escapes a string for JSON (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as valid JSON (no NaN/Inf; fixed precision keeps the
+/// trajectory diffable).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_as_json_array() {
+        let mut rec = BenchRecorder::new("unit");
+        rec.record("fast_case", 1.25, 1.0, 30);
+        rec.record("slow \"case\"", 100.5, 99.875, 5);
+        let json = rec.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains(
+            "{\"case\": \"fast_case\", \"median_ms\": 1.2500, \"best_ms\": 1.0000, \"iters\": 30},"
+        ));
+        assert!(json.contains("\"slow \\\"case\\\"\""));
+        // Exactly one comma: two rows.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_recorder_is_valid_json() {
+        assert_eq!(BenchRecorder::new("unit").to_json(), "[\n]\n");
+    }
+
+    #[test]
+    fn non_finite_values_become_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.0 / 0.0), "null");
+    }
+
+    #[test]
+    fn path_honors_env_dir() {
+        let rec = BenchRecorder::new("unit");
+        assert!(rec.path().to_string_lossy().ends_with("BENCH_unit.json"));
+    }
+}

@@ -14,19 +14,22 @@
 //! 5. **NIC pacing** — the §7 pacing discussion: pacing the rack's servers
 //!    shaves the burst tail.
 //!
+//! Each sweep's points are independent campaigns, so they run on the
+//! parallel engine (`uburst_bench::run_jobs`); rows are assembled in sweep
+//! order, so the report is identical for any `UBURST_THREADS`.
+//!
 //! Run with `cargo run --release -p uburst-bench --bin ablations`.
 
 use uburst_analysis::{extract_bursts, mad_per_period, Ecdf, HOT_THRESHOLD};
 use uburst_asic::{AccessModel, CounterId};
 use uburst_bench::campaign::{measure_single_port, run_campaign};
 use uburst_bench::report::Table;
+use uburst_bench::run_jobs;
 use uburst_core::spec::CoreMode;
 use uburst_core::tuning::probe_loss_profile;
 use uburst_sim::node::PortId;
 use uburst_sim::routing::EcmpMode;
-use uburst_sim::switch::Switch;
 use uburst_sim::time::Nanos;
-use uburst_workloads::host::AppHost;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 const SPAN: Nanos = Nanos::from_millis(150);
@@ -34,7 +37,7 @@ const SPAN: Nanos = Nanos::from_millis(150);
 fn ablate_buffer_alpha() {
     println!("## ablation 1: dynamic-threshold alpha (Hadoop rack, load 1.6)\n");
     let mut t = Table::new(&["alpha", "drops", "drop_dir_dn%", "burst_p90us"]);
-    for alpha in [0.25, 0.5, 1.0, 2.0, 4.0] {
+    let rows = run_jobs(vec![0.25, 0.5, 1.0, 2.0, 4.0], |alpha| {
         let mut cfg = ScenarioConfig::new(RackType::Hadoop, 40_001);
         cfg.load = 1.6;
         cfg.clos.tor_switch.alpha = alpha;
@@ -45,30 +48,33 @@ fn ablate_buffer_alpha() {
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
+            uburst_analysis::quantile(
+                &mut a
+                    .durations()
+                    .iter()
+                    .map(|d| d.as_micros_f64())
+                    .collect::<Vec<_>>(),
+                0.9,
+            )
         };
-        let tor = run.scenario.tor();
-        let stats = run.scenario.sim.node::<Switch>(tor).stats();
-        let dn_drops: u64 = (0..n)
-            .map(|i| {
-                run.scenario
-                    .counters
-                    .read(CounterId::Drops(PortId(i as u16)))
-            })
-            .sum();
-        t.row(&[
+        let drops = run.net.tor.dropped_packets;
+        let dn_drops = run.net.downlink_drops(n);
+        [
             format!("{alpha}"),
-            format!("{}", stats.dropped_packets),
+            format!("{drops}"),
             format!(
                 "{:.0}",
-                if stats.dropped_packets == 0 {
+                if drops == 0 {
                     0.0
                 } else {
-                    dn_drops as f64 / stats.dropped_packets as f64 * 100.0
+                    dn_drops as f64 / drops as f64 * 100.0
                 }
             ),
             format!("{p90:.0}"),
-        ]);
+        ]
+    });
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!("smaller alpha carves tighter per-port limits -> more (earlier) drops;\nlarge alpha shares the pool -> fewer drops, longer uninterrupted bursts.\n");
@@ -77,47 +83,40 @@ fn ablate_buffer_alpha() {
 fn ablate_ecmp() {
     println!("## ablation 2: ECMP flow hashing vs per-packet spraying (Hadoop)\n");
     let mut t = Table::new(&["mode", "mad_p50@40us", "mad_p90@40us", "retransmits"]);
-    for (name, mode) in [
-        ("flow-hash", EcmpMode::FlowHash),
-        ("packet-spray", EcmpMode::PacketSpray),
-    ] {
-        let mut cfg = ScenarioConfig::new(RackType::Hadoop, 40_002);
-        cfg.clos.ecmp_mode = mode;
-        let n = cfg.n_servers;
-        let uplink_bps = cfg.clos.uplink.bandwidth_bps;
-        let counters: Vec<CounterId> = (0..4)
-            .map(|f| CounterId::TxBytes(PortId((n + f) as u16)))
-            .collect();
-        let run = run_campaign(cfg, counters.clone(), Nanos::from_micros(40), SPAN);
-        let series: Vec<Vec<f64>> = counters
-            .iter()
-            .map(|&c| {
-                run.utilization(c, uplink_bps)
-                    .iter()
-                    .map(|u| u.util)
-                    .collect()
-            })
-            .collect();
-        let mad = Ecdf::new(mad_per_period(&series));
-        let retx: u64 = run
-            .scenario
-            .rack_hosts
-            .iter()
-            .chain(&run.scenario.remote_hosts)
-            .map(|&h| {
-                run.scenario
-                    .sim
-                    .node::<AppHost>(h)
-                    .transport_stats()
-                    .retransmits
-            })
-            .sum();
-        t.row(&[
-            name.into(),
-            format!("{:.2}", mad.quantile(0.5)),
-            format!("{:.2}", mad.quantile(0.9)),
-            format!("{retx}"),
-        ]);
+    let rows = run_jobs(
+        vec![
+            ("flow-hash", EcmpMode::FlowHash),
+            ("packet-spray", EcmpMode::PacketSpray),
+        ],
+        |(name, mode)| {
+            let mut cfg = ScenarioConfig::new(RackType::Hadoop, 40_002);
+            cfg.clos.ecmp_mode = mode;
+            let n = cfg.n_servers;
+            let uplink_bps = cfg.clos.uplink.bandwidth_bps;
+            let counters: Vec<CounterId> = (0..4)
+                .map(|f| CounterId::TxBytes(PortId((n + f) as u16)))
+                .collect();
+            let run = run_campaign(cfg, counters.clone(), Nanos::from_micros(40), SPAN);
+            let series: Vec<Vec<f64>> = counters
+                .iter()
+                .map(|&c| {
+                    run.utilization(c, uplink_bps)
+                        .iter()
+                        .map(|u| u.util)
+                        .collect()
+                })
+                .collect();
+            let mad = Ecdf::new(mad_per_period(&series));
+            [
+                name.into(),
+                format!("{:.2}", mad.quantile(0.5)),
+                format!("{:.2}", mad.quantile(0.9)),
+                format!("{}", run.net.transport.retransmits),
+            ]
+        },
+    );
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!("spraying balances the uplinks almost perfectly but reorders flows,\nwhich the transport pays for in spurious retransmissions.\n");
@@ -126,23 +125,32 @@ fn ablate_ecmp() {
 fn ablate_poller_core() {
     println!("## ablation 3: dedicated vs shared poller core (byte counter)\n");
     let mut t = Table::new(&["core", "miss@10us", "miss@25us", "miss@100us", "cpu"]);
-    for mode in [CoreMode::Dedicated, CoreMode::Shared] {
-        let probe = |us: u64| {
-            probe_loss_profile(
-                &[CounterId::TxBytes(PortId(0))],
-                AccessModel::default(),
-                Nanos::from_micros(us),
-                Nanos::from_millis(300),
-                mode,
-                us,
-            )
-            .0
-        };
+    // 2 modes x 3 intervals = 6 independent probe campaigns.
+    let modes = [CoreMode::Dedicated, CoreMode::Shared];
+    let mut jobs = Vec::new();
+    for &mode in &modes {
+        for us in [10u64, 25, 100] {
+            jobs.push((mode, us));
+        }
+    }
+    let misses = run_jobs(jobs, |(mode, us)| {
+        probe_loss_profile(
+            &[CounterId::TxBytes(PortId(0))],
+            AccessModel::default(),
+            Nanos::from_micros(us),
+            Nanos::from_millis(300),
+            mode,
+            us,
+        )
+        .0
+    });
+    for (mi, mode) in modes.into_iter().enumerate() {
+        let m = &misses[mi * 3..mi * 3 + 3];
         t.row(&[
             format!("{mode:?}"),
-            format!("{:.1}%", probe(10) * 100.0),
-            format!("{:.1}%", probe(25) * 100.0),
-            format!("{:.1}%", probe(100) * 100.0),
+            format!("{:.1}%", m[0] * 100.0),
+            format!("{:.1}%", m[1] * 100.0),
+            format!("{:.1}%", m[2] * 100.0),
             match mode {
                 CoreMode::Dedicated => "1 full core".into(),
                 CoreMode::Shared => "<20% of a core".into(),
@@ -197,31 +205,42 @@ will still reflect bursts\" (§4.1).\n",
 fn ablate_pacing() {
     println!("## ablation 5: NIC pacing on the rack's servers (Cache rack)\n");
     let mut t = Table::new(&["pacing", "uplink_hot%", "burst_p90us", "drops"]);
-    for (name, pace) in [
-        ("none (TSO bursts)", None),
-        ("5 Gbps", Some(5_000_000_000u64)),
-        ("2.5 Gbps", Some(2_500_000_000u64)),
-    ] {
-        let mut cfg = ScenarioConfig::new(RackType::Cache, 40_005);
-        cfg.nic_pace_bps = pace;
-        let uplink = cfg.n_servers;
-        let uplink_bps = cfg.clos.uplink.bandwidth_bps;
-        let (run, port) = measure_single_port(cfg, Some(uplink), Nanos::from_micros(25), SPAN);
-        let utils = run.utilization(CounterId::TxBytes(port), uplink_bps);
-        let a = extract_bursts(&utils, HOT_THRESHOLD);
-        let p90 = if a.bursts.is_empty() {
-            0.0
-        } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
-        };
-        let tor = run.scenario.tor();
-        let drops = run.scenario.sim.node::<Switch>(tor).stats().dropped_packets;
-        t.row(&[
-            name.into(),
-            format!("{:.1}", a.hot_fraction() * 100.0),
-            format!("{p90:.0}"),
-            format!("{drops}"),
-        ]);
+    let rows = run_jobs(
+        vec![
+            ("none (TSO bursts)", None),
+            ("5 Gbps", Some(5_000_000_000u64)),
+            ("2.5 Gbps", Some(2_500_000_000u64)),
+        ],
+        |(name, pace)| {
+            let mut cfg = ScenarioConfig::new(RackType::Cache, 40_005);
+            cfg.nic_pace_bps = pace;
+            let uplink = cfg.n_servers;
+            let uplink_bps = cfg.clos.uplink.bandwidth_bps;
+            let (run, port) = measure_single_port(cfg, Some(uplink), Nanos::from_micros(25), SPAN);
+            let utils = run.utilization(CounterId::TxBytes(port), uplink_bps);
+            let a = extract_bursts(&utils, HOT_THRESHOLD);
+            let p90 = if a.bursts.is_empty() {
+                0.0
+            } else {
+                uburst_analysis::quantile(
+                    &mut a
+                        .durations()
+                        .iter()
+                        .map(|d| d.as_micros_f64())
+                        .collect::<Vec<_>>(),
+                    0.9,
+                )
+            };
+            [
+                name.into(),
+                format!("{:.1}", a.hot_fraction() * 100.0),
+                format!("{p90:.0}"),
+                format!("{}", run.net.tor.dropped_packets),
+            ]
+        },
+    );
+    for row in &rows {
+        t.row(row);
     }
     t.print();
     println!("pacing smears the line-rate trains out: hot fraction and burst tails\nshrink — the effect the hardware/software pacing proposals of §7 target.\n");

@@ -13,6 +13,7 @@ use uburst_analysis::{
 use uburst_asic::CounterId;
 use uburst_bench::campaign::{measure_port_groups, measure_single_port, port_bps};
 use uburst_bench::report::Table;
+use uburst_bench::run_jobs;
 use uburst_sim::node::PortId;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
@@ -40,58 +41,66 @@ fn main() {
         "markov_r",
     ]);
 
+    // --- single random downlink at 25us (Fig 3/4/6 view), one campaign
+    // per (rack type, seed), run on the parallel engine -------------------
+    let mut probe_jobs = Vec::new();
     for rack_type in RackType::ALL {
-        // --- single random downlink at 25us (Fig 3/4/6 view) -------------
         for seed in [1u64, 2, 3] {
-            let cfg = ScenarioConfig::new(rack_type, seed);
-            let n_servers = cfg.n_servers;
-            let port = uburst_bench::representative_port(&cfg);
-            let port_speed = port_bps(&cfg, port);
-            let (run, port) = measure_single_port(cfg, Some(port.0 as usize), interval, span);
-            let util = run.utilization(CounterId::TxBytes(port), port_speed);
-            let mean_util: f64 = util.iter().map(|u| u.util).sum::<f64>() / util.len() as f64;
-            let analysis = extract_bursts(&util, HOT_THRESHOLD);
-            let chain = hot_chain(&util, HOT_THRESHOLD);
-            let m = fit_transition_matrix(&chain);
-            let durations: Vec<f64> = analysis
-                .durations()
-                .iter()
-                .map(|d| d.as_micros_f64())
-                .collect();
-            let gaps: Vec<f64> = analysis.gaps.iter().map(|g| g.as_micros_f64()).collect();
-            let (p50, p90, p99, maxd) = if durations.is_empty() {
-                (0.0, 0.0, 0.0, 0.0)
-            } else {
-                let e = Ecdf::new(durations);
-                (e.quantile(0.5), e.quantile(0.9), e.quantile(0.99), e.max())
-            };
-            let gap50 = if gaps.is_empty() {
-                0.0
-            } else {
-                Ecdf::new(gaps).quantile(0.5)
-            };
-            table.row(&[
-                format!("{}/{}", rack_type.name(), seed),
-                format!(
-                    "{}{}",
-                    if (port.0 as usize) < n_servers {
-                        "dn"
-                    } else {
-                        "up"
-                    },
-                    port.0
-                ),
-                format!("{:.3}", mean_util),
-                format!("{:.1}", analysis.hot_fraction() * 100.0),
-                format!("{}", analysis.bursts.len()),
-                format!("{p50:.0}"),
-                format!("{p90:.0}"),
-                format!("{p99:.0}"),
-                format!("{maxd:.0}"),
-                format!("{gap50:.0}"),
-                format!("{:.1}", m.likelihood_ratio()),
-            ]);
+            probe_jobs.push((rack_type, seed));
         }
+    }
+    let rows = run_jobs(probe_jobs, |(rack_type, seed)| {
+        let cfg = ScenarioConfig::new(rack_type, seed);
+        let n_servers = cfg.n_servers;
+        let port = uburst_bench::representative_port(&cfg);
+        let port_speed = port_bps(&cfg, port);
+        let (run, port) = measure_single_port(cfg, Some(port.0 as usize), interval, span);
+        let util = run.utilization(CounterId::TxBytes(port), port_speed);
+        let mean_util: f64 = util.iter().map(|u| u.util).sum::<f64>() / util.len() as f64;
+        let analysis = extract_bursts(&util, HOT_THRESHOLD);
+        let chain = hot_chain(&util, HOT_THRESHOLD);
+        let m = fit_transition_matrix(&chain);
+        let durations: Vec<f64> = analysis
+            .durations()
+            .iter()
+            .map(|d| d.as_micros_f64())
+            .collect();
+        let gaps: Vec<f64> = analysis.gaps.iter().map(|g| g.as_micros_f64()).collect();
+        let (p50, p90, p99, maxd) = if durations.is_empty() {
+            (0.0, 0.0, 0.0, 0.0)
+        } else {
+            let e = Ecdf::new(durations);
+            (e.quantile(0.5), e.quantile(0.9), e.quantile(0.99), e.max())
+        };
+        let gap50 = if gaps.is_empty() {
+            0.0
+        } else {
+            Ecdf::new(gaps).quantile(0.5)
+        };
+        [
+            format!("{}/{}", rack_type.name(), seed),
+            format!(
+                "{}{}",
+                if (port.0 as usize) < n_servers {
+                    "dn"
+                } else {
+                    "up"
+                },
+                port.0
+            ),
+            format!("{:.3}", mean_util),
+            format!("{:.1}", analysis.hot_fraction() * 100.0),
+            format!("{}", analysis.bursts.len()),
+            format!("{p50:.0}"),
+            format!("{p90:.0}"),
+            format!("{p99:.0}"),
+            format!("{maxd:.0}"),
+            format!("{gap50:.0}"),
+            format!("{:.1}", m.likelihood_ratio()),
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     table.print();
 
@@ -106,7 +115,7 @@ fn main() {
         "drops",
         "drop_dir_dn%",
     ]);
-    for rack_type in RackType::ALL {
+    let rows2 = run_jobs(RackType::ALL.to_vec(), |rack_type| {
         let cfg = ScenarioConfig::new(rack_type, 11);
         let n = cfg.n_servers;
         let all_ports: Vec<PortId> = (0..(n + 4)).map(|i| PortId(i as u16)).collect();
@@ -148,23 +157,11 @@ fn main() {
             }
         }
         let corr_pod = pod_sum / pod_cnt.max(1) as f64;
-        // Drops and their direction.
-        let dn_drops: u64 = (0..n)
-            .map(|i| {
-                run.scenario
-                    .counters
-                    .read(CounterId::Drops(PortId(i as u16)))
-            })
-            .sum();
-        let up_drops: u64 = (n..n + 4)
-            .map(|i| {
-                run.scenario
-                    .counters
-                    .read(CounterId::Drops(PortId(i as u16)))
-            })
-            .sum();
+        // Drops and their direction (from the run's reduced snapshot).
+        let dn_drops = run.net.downlink_drops(n);
+        let up_drops = run.net.uplink_drops(n);
         let total_drops = dn_drops + up_drops;
-        t2.row(&[
+        [
             rack_type.name().to_string(),
             format!("{dn_util:.3}"),
             format!("{up_util:.3}"),
@@ -180,7 +177,10 @@ fn main() {
                     dn_drops as f64 / total_drops as f64 * 100.0
                 }
             ),
-        ]);
+        ]
+    });
+    for row in &rows2 {
+        t2.row(row);
     }
     t2.print();
 

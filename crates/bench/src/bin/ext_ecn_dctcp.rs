@@ -13,12 +13,12 @@
 //!
 //! Run with `cargo run --release -p uburst-bench --bin ext_ecn_dctcp`.
 
-use uburst_analysis::{extract_bursts, Ecdf, HOT_THRESHOLD};
+use uburst_analysis::{extract_bursts, HOT_THRESHOLD};
 use uburst_asic::CounterId;
 use uburst_bench::campaign::run_campaign;
 use uburst_bench::report::{fmt_bytes, Table};
+use uburst_bench::run_jobs;
 use uburst_sim::node::PortId;
-use uburst_sim::switch::Switch;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
@@ -44,7 +44,8 @@ fn main() {
         ("ECN K=25KB".into(), Some(25 << 10)),
     ];
 
-    for (name, threshold) in configs {
+    // The four ECN configurations are independent campaigns: pool them.
+    let results = run_jobs(configs, |(name, threshold)| {
         let mut cfg = ScenarioConfig::new(RackType::Hadoop, 60_060);
         cfg.load = 2.0;
         cfg.clos.tor_switch.ecn_threshold = threshold;
@@ -58,7 +59,14 @@ fn main() {
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
+            uburst_analysis::quantile(
+                &mut a
+                    .durations()
+                    .iter()
+                    .map(|d| d.as_micros_f64())
+                    .collect::<Vec<_>>(),
+                0.9,
+            )
         };
         let peak = run
             .series_for(CounterId::BufferPeak)
@@ -67,17 +75,22 @@ fn main() {
             .copied()
             .max()
             .unwrap_or(0);
-        let tor = run.scenario.tor();
-        let stats = run.scenario.sim.node::<Switch>(tor).stats();
-        t.row(&[
-            name.clone(),
-            format!("{}", stats.dropped_packets),
-            fmt_bytes(peak),
-            format!("{:.1}", a.hot_fraction() * 100.0),
-            format!("{p90:.0}"),
-            fmt_bytes(stats.tx_bytes),
-        ]);
-        rows.push((name, stats.dropped_packets, peak, stats.tx_bytes));
+        let stats = run.net.tor;
+        (
+            [
+                name.clone(),
+                format!("{}", stats.dropped_packets),
+                fmt_bytes(peak),
+                format!("{:.1}", a.hot_fraction() * 100.0),
+                format!("{p90:.0}"),
+                fmt_bytes(stats.tx_bytes),
+            ],
+            (name, stats.dropped_packets, peak, stats.tx_bytes),
+        )
+    });
+    for (table_row, summary) in results {
+        t.row(&table_row);
+        rows.push(summary);
     }
     t.print();
 

@@ -14,7 +14,7 @@
 
 use std::rc::Rc;
 
-use uburst_analysis::{extract_bursts, Ecdf, HOT_THRESHOLD};
+use uburst_analysis::{extract_bursts, HOT_THRESHOLD};
 use uburst_asic::{AccessModel, AsicCounters, CounterId};
 use uburst_bench::report::Table;
 use uburst_core::poller::Poller;
@@ -49,10 +49,10 @@ fn main() {
     println!();
 
     let mut t = Table::new(&["tier", "port", "util%", "hot%", "bursts", "p90us", "drops"]);
-    let mut tor_hot = 0.0;
-    let mut fabric_hot = f64::MAX;
 
-    for round in 0..2 {
+    // The two vantage points are independent scenario runs; each worker
+    // builds, polls, and reduces its own (non-Send) scenario.
+    let rounds = uburst_bench::run_jobs(vec![0, 1], |round| {
         let mut cfg = ScenarioConfig::new(RackType::Hadoop, 70_070);
         cfg.load = 1.4;
         cfg.instrument_fabric = true;
@@ -81,7 +81,14 @@ fn main() {
         let p90 = if a.bursts.is_empty() {
             0.0
         } else {
-            Ecdf::new(a.durations().iter().map(|d| d.as_micros_f64()).collect()).quantile(0.9)
+            uburst_analysis::quantile(
+                &mut a
+                    .durations()
+                    .iter()
+                    .map(|d| d.as_micros_f64())
+                    .collect::<Vec<_>>(),
+                0.9,
+            )
         };
         let drops = if round == 0 {
             s.sim.node::<Switch>(s.tor()).stats().dropped_packets
@@ -91,21 +98,24 @@ fn main() {
                 .stats()
                 .dropped_packets
         };
-        t.row(&[
-            tier.into(),
-            format!("{}", port.0),
-            format!("{:.1}", mean * 100.0),
-            format!("{:.1}", a.hot_fraction() * 100.0),
-            format!("{}", a.bursts.len()),
-            format!("{p90:.0}"),
-            format!("{drops}"),
-        ]);
-        if round == 0 {
-            tor_hot = a.hot_fraction();
-        } else {
-            fabric_hot = a.hot_fraction();
-        }
+        (
+            [
+                tier.to_string(),
+                format!("{}", port.0),
+                format!("{:.1}", mean * 100.0),
+                format!("{:.1}", a.hot_fraction() * 100.0),
+                format!("{}", a.bursts.len()),
+                format!("{p90:.0}"),
+                format!("{drops}"),
+            ],
+            a.hot_fraction(),
+        )
+    });
+    for (row, _) in &rounds {
+        t.row(row);
     }
+    let tor_hot = rounds[0].1;
+    let fabric_hot = rounds[1].1;
     t.print();
 
     println!();

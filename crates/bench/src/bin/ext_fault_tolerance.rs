@@ -74,8 +74,15 @@ fn main() {
     println!("faulted runs add 32-bit counter wrap + stale reads + latency spikes");
     println!();
 
-    let baseline = run_at(0.0, span);
-    let base_rate = mean_rate(&baseline);
+    // Every run (baseline, sweep points, replay pair) is an independent
+    // campaign: fan all eight across the pool. Indices: 0 = baseline,
+    // 1..=5 = sweep, 6..=7 = determinism replay of the 1% point.
+    let sweep_rates = [0.0, 0.001, 0.01, 0.05, 0.10];
+    let mut rates = vec![0.0];
+    rates.extend(sweep_rates);
+    rates.extend([0.01, 0.01]);
+    let mut runs = uburst_bench::run_jobs(rates, |rate| run_at(rate, span));
+    let base_rate = mean_rate(&runs[0]);
 
     let mut t = Table::new(&[
         "fault%",
@@ -92,13 +99,13 @@ fn main() {
     let mut all_accounted = true;
     let mut one_pct_err = f64::MAX;
     let mut one_pct_loss = f64::MAX;
-    for &rate in &[0.0, 0.001, 0.01, 0.05, 0.10] {
-        let run = run_at(rate, span);
+    for (i, &rate) in sweep_rates.iter().enumerate() {
+        let run = &runs[1 + i];
         let st = run.poller_stats;
         let abandoned = st.abandoned_polls();
         let deadlines = st.polls + st.missed_deadlines;
         let loss = (st.missed_deadlines + abandoned) as f64 / deadlines as f64;
-        let r = mean_rate(&run);
+        let r = mean_rate(run);
         let err = (r - base_rate).abs() / base_rate;
         // Every fault the injector recorded must be visible in the
         // poller's own books.
@@ -132,8 +139,8 @@ fn main() {
 
     // Determinism: the 1% run, replayed from the same seeds, must be
     // bit-identical down to its fault stream.
-    let a = run_at(0.01, span);
-    let b = run_at(0.01, span);
+    let b = runs.pop().expect("replay run b");
+    let a = runs.pop().expect("replay run a");
     let deterministic = a.poller_stats == b.poller_stats
         && a.fault_stats == b.fault_stats
         && a.series[0].1.vs == b.series[0].1.vs;

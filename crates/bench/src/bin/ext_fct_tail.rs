@@ -54,24 +54,31 @@ fn main() {
 
     let mut t = Table::new(&["load", "transport", "flows", "p50", "p90", "p99", "max"]);
     let mut p99s: Vec<(f64, bool, f64, f64)> = Vec::new();
+    // Each (load, transport) combination is an independent scenario run;
+    // fan them out on the pool (the scenario never leaves its worker).
+    let mut combos = Vec::new();
     for &load in &[0.5, 1.0, 1.5, 2.0] {
         for ecn in [false, true] {
-            let s = slowdowns(load, ecn, 80_808);
-            if s.is_empty() {
-                continue;
-            }
-            let e = Ecdf::new(s);
-            t.row(&[
-                format!("{load}"),
-                if ecn { "ECN/DCTCP" } else { "drop-based" }.into(),
-                format!("{}", e.len()),
-                format!("{:.2}", e.quantile(0.5)),
-                format!("{:.2}", e.quantile(0.9)),
-                format!("{:.2}", e.quantile(0.99)),
-                format!("{:.1}", e.max()),
-            ]);
-            p99s.push((load, ecn, e.quantile(0.99), e.max()));
+            combos.push((load, ecn));
         }
+    }
+    let all_slowdowns =
+        uburst_bench::run_jobs(combos.clone(), |(load, ecn)| slowdowns(load, ecn, 80_808));
+    for ((load, ecn), s) in combos.into_iter().zip(all_slowdowns) {
+        if s.is_empty() {
+            continue;
+        }
+        let e = Ecdf::new(s);
+        t.row(&[
+            format!("{load}"),
+            if ecn { "ECN/DCTCP" } else { "drop-based" }.into(),
+            format!("{}", e.len()),
+            format!("{:.2}", e.quantile(0.5)),
+            format!("{:.2}", e.quantile(0.9)),
+            format!("{:.2}", e.quantile(0.99)),
+            format!("{:.1}", e.max()),
+        ]);
+        p99s.push((load, ecn, e.quantile(0.99), e.max()));
     }
     t.print();
 

@@ -20,11 +20,10 @@ use uburst_analysis::{coarsen, mad_per_period, Ecdf};
 use uburst_asic::CounterId;
 use uburst_bench::campaign::run_campaign;
 use uburst_bench::report::Table;
+use uburst_bench::run_jobs;
 use uburst_sim::node::PortId;
 use uburst_sim::routing::EcmpMode;
-use uburst_sim::switch::Switch;
 use uburst_sim::time::Nanos;
-use uburst_workloads::host::AppHost;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 fn panel(title: &str, window_limited: bool, span: Nanos) -> Vec<(String, f64, u64, f64)> {
@@ -61,9 +60,8 @@ fn panel(title: &str, window_limited: bool, span: Nanos) -> Vec<(String, f64, u6
         "fast_retx",
         "goodput",
     ]);
-    let mut rows: Vec<(String, f64, u64, f64)> = Vec::new();
-
-    for (name, mode) in modes {
+    // The five ECMP modes are independent campaigns: run them on the pool.
+    let results = run_jobs(modes, |(name, mode)| {
         let mut cfg = ScenarioConfig::new(RackType::Hadoop, 50_050);
         cfg.clos.ecmp_mode = mode;
         if window_limited {
@@ -89,30 +87,27 @@ fn panel(title: &str, window_limited: bool, span: Nanos) -> Vec<(String, f64, u6
         let mad = Ecdf::new(mad_per_period(&series));
         let coarse: Vec<Vec<f64>> = series.iter().map(|s| coarsen(s, 25)).collect();
         let mad_coarse = Ecdf::new(mad_per_period(&coarse));
-        let (mut retx, mut fast) = (0u64, 0u64);
-        for &h in run
-            .scenario
-            .rack_hosts
-            .iter()
-            .chain(&run.scenario.remote_hosts)
-        {
-            let s = run.scenario.sim.node::<AppHost>(h).transport_stats();
-            retx += s.retransmits;
-            fast += s.fast_retransmits;
-        }
+        let retx = run.net.transport.retransmits;
+        let fast = run.net.transport.fast_retransmits;
         // Goodput proxy: bytes the ToR moved toward servers.
-        let tor = run.scenario.tor();
-        let moved = run.scenario.sim.node::<Switch>(tor).stats().tx_bytes;
-        t.row(&[
-            name.clone(),
-            format!("{:.2}", mad.quantile(0.5)),
-            format!("{:.2}", mad.quantile(0.9)),
-            format!("{:.2}", mad_coarse.quantile(0.5)),
-            format!("{retx}"),
-            format!("{fast}"),
-            uburst_bench::report::fmt_bytes(moved),
-        ]);
-        rows.push((name, mad.quantile(0.5), retx, mad_coarse.quantile(0.5)));
+        let moved = run.net.tor.tx_bytes;
+        (
+            [
+                name.clone(),
+                format!("{:.2}", mad.quantile(0.5)),
+                format!("{:.2}", mad.quantile(0.9)),
+                format!("{:.2}", mad_coarse.quantile(0.5)),
+                format!("{retx}"),
+                format!("{fast}"),
+                uburst_bench::report::fmt_bytes(moved),
+            ],
+            (name, mad.quantile(0.5), retx, mad_coarse.quantile(0.5)),
+        )
+    });
+    let mut rows: Vec<(String, f64, u64, f64)> = Vec::new();
+    for (table_row, summary) in results {
+        t.row(&table_row);
+        rows.push(summary);
     }
     t.print();
     println!();

@@ -1,17 +1,33 @@
 //! Runs every table/figure harness and prints a combined report —
 //! the data behind EXPERIMENTS.md.
+//!
+//! Experiments run on the parallel engine (experiment-level jobs on top of
+//! each harness's campaign-level jobs; the shared worker budget caps total
+//! threads at `Scale::threads()`). Reports are printed in paper order and
+//! are byte-identical for any `UBURST_THREADS` value; per-experiment
+//! timings go to stderr so stdout stays deterministic.
 
 use std::time::Instant;
 
 fn main() {
     let scale = uburst_bench::Scale::from_env();
+    let t0 = Instant::now();
     println!("uburst reproduction report (scale: {})", scale.label());
     println!("====================================================");
-    for (id, title, runner) in uburst_bench::figures::all_experiments() {
-        let t0 = Instant::now();
+    let experiments = uburst_bench::figures::all_experiments();
+    let reports = uburst_bench::run_jobs(experiments, |(id, title, runner)| {
+        let t = Instant::now();
         let report = runner(scale);
+        eprintln!("[{id} completed in {:.1}s]", t.elapsed().as_secs_f64());
+        (id, title, report)
+    });
+    for (id, title, report) in reports {
         println!("\n### {id}: {title}\n");
         print!("{report}");
-        println!("\n[{id} completed in {:.1}s]", t0.elapsed().as_secs_f64());
     }
+    eprintln!(
+        "[all experiments completed in {:.1}s on {} thread(s)]",
+        t0.elapsed().as_secs_f64(),
+        uburst_bench::Scale::threads()
+    );
 }

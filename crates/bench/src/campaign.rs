@@ -4,6 +4,14 @@
 //! it warm up, attach the collection framework to the ToR's ASIC, poll for
 //! a campaign window, convert cumulative byte series to per-interval
 //! utilization.
+//!
+//! A campaign is described by a [`CampaignSpec`] (pure data, `Send`) and
+//! executed with [`CampaignSpec::run`], which builds the scenario,
+//! simulates it, and reduces everything the harnesses consume into a
+//! `Send` [`CampaignRun`]. The split exists for the parallel engine
+//! (`pool.rs`): simulations are `Rc`/`Cell`-based and cannot cross
+//! threads, so a worker runs the whole spec and ships only the reduced
+//! result back.
 
 use uburst_asic::{AccessModel, CounterId, FaultInjector, FaultPlan, FaultStats};
 use uburst_core::degrade::DegradationPolicy;
@@ -11,13 +19,181 @@ use uburst_core::poller::{Poller, RetryPolicy};
 use uburst_core::series::{Series, UtilSample};
 use uburst_core::spec::CampaignConfig;
 use uburst_sim::node::PortId;
+use uburst_sim::switch::{Switch, SwitchStats};
 use uburst_sim::time::Nanos;
-use uburst_workloads::scenario::{build_scenario, Scenario, ScenarioConfig};
+use uburst_sim::transport::TransportStats;
+use uburst_workloads::host::AppHost;
+use uburst_workloads::scenario::{build_scenario, ScenarioConfig};
 
-/// The outcome of one campaign on one rack instance.
+/// Everything one campaign needs: the scenario to build, the counters to
+/// poll, the window, and the robustness layer. Pure data — build specs
+/// up front, then execute them sequentially ([`CampaignSpec::run`]) or on
+/// the worker pool ([`crate::pool::run_parallel`]).
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// The scenario to measure.
+    pub cfg: ScenarioConfig,
+    /// Counters polled together, in campaign order.
+    pub counters: Vec<CounterId>,
+    /// Sampling interval.
+    pub interval: Nanos,
+    /// Campaign length (after warmup).
+    pub span: Nanos,
+    /// Optional fault plan applied to every counter read.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for failed read transactions.
+    pub retry: RetryPolicy,
+    /// Optional adaptive degradation under overload.
+    pub degradation: Option<DegradationPolicy>,
+}
+
+impl CampaignSpec {
+    /// A plain campaign: no faults, default retries, no degradation.
+    pub fn new(
+        cfg: ScenarioConfig,
+        counters: Vec<CounterId>,
+        interval: Nanos,
+        span: Nanos,
+    ) -> Self {
+        CampaignSpec {
+            cfg,
+            counters,
+            interval,
+            span,
+            faults: None,
+            retry: RetryPolicy::default(),
+            degradation: None,
+        }
+    }
+
+    /// Arms a fault plan for every counter read.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Overrides the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Arms adaptive degradation.
+    pub fn with_degradation(mut self, policy: DegradationPolicy) -> Self {
+        self.degradation = Some(policy);
+        self
+    }
+
+    /// Executes the campaign: build, warm up, poll, reduce. Fully
+    /// deterministic from the spec — equal specs produce equal runs, on
+    /// any thread.
+    pub fn run(self) -> CampaignRun {
+        let CampaignSpec {
+            cfg,
+            counters,
+            interval,
+            span,
+            faults,
+            retry,
+            degradation,
+        } = self;
+        let seed = cfg.seed;
+        let n_ports = cfg.n_servers + cfg.clos.n_fabric;
+        let mut scenario = build_scenario(cfg);
+        let warmup = scenario.recommended_warmup();
+        scenario.sim.run_until(warmup);
+        let campaign = CampaignConfig::group("bench", counters, interval);
+        let mut poller = Poller::in_memory(
+            scenario.counters.clone(),
+            AccessModel::default(),
+            campaign,
+            seed ^ 0x9e37_79b9,
+        )
+        .expect("bench campaign is well-formed")
+        .with_retry(retry);
+        if let Some(plan) = faults {
+            poller = poller.with_faults(FaultInjector::new(plan));
+        }
+        if let Some(policy) = degradation {
+            poller = poller.with_degradation(policy);
+        }
+        let stop = warmup + span;
+        let id = poller
+            .spawn(&mut scenario.sim, warmup, stop)
+            .expect("bench campaign window is non-empty");
+        // Slack past the stop so the final in-flight poll completes.
+        scenario.sim.run_until(stop + Nanos::from_millis(1));
+        let poller_ref = scenario.sim.node_mut::<Poller>(id);
+        let poller_stats = poller_ref.stats();
+        let fault_stats = poller_ref.fault_stats();
+        let degrade_level = poller_ref.degrade_level();
+        let series = poller_ref.take_series().expect("in-memory campaign");
+
+        // Reduce the (non-Send) scenario to the post-run facts harnesses
+        // consume: ToR switch totals, per-port drop counters, transport
+        // diagnostics summed over every host.
+        let tor = scenario.sim.node::<Switch>(scenario.tor()).stats();
+        let port_drops: Vec<u64> = (0..n_ports)
+            .map(|i| scenario.counters.read(CounterId::Drops(PortId(i as u16))))
+            .collect();
+        let mut transport = TransportStats::default();
+        for &h in scenario.rack_hosts.iter().chain(&scenario.remote_hosts) {
+            let s = scenario.sim.node::<AppHost>(h).transport_stats();
+            transport.flows_started += s.flows_started;
+            transport.flows_sent += s.flows_sent;
+            transport.flows_received += s.flows_received;
+            transport.retransmits += s.retransmits;
+            transport.timeouts += s.timeouts;
+            transport.fast_retransmits += s.fast_retransmits;
+        }
+
+        CampaignRun {
+            series,
+            poller_stats,
+            fault_stats,
+            degrade_level,
+            net: NetSnapshot {
+                tor,
+                port_drops,
+                transport,
+            },
+        }
+    }
+}
+
+/// Post-run network state, reduced from the scenario before it is dropped
+/// (the scenario itself is `Rc`-based and cannot leave its worker thread).
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    /// The measured ToR switch's totals.
+    pub tor: SwitchStats,
+    /// Final congestion-drop counter per ToR port (downlinks then
+    /// uplinks, indexed by `PortId`).
+    pub port_drops: Vec<u64>,
+    /// Transport diagnostics summed over every host (rack and remote).
+    pub transport: TransportStats,
+}
+
+impl NetSnapshot {
+    /// Drops summed over the server-facing ports `0..n_servers`.
+    pub fn downlink_drops(&self, n_servers: usize) -> u64 {
+        self.port_drops[..n_servers.min(self.port_drops.len())]
+            .iter()
+            .sum()
+    }
+
+    /// Drops summed over the uplink ports `n_servers..`.
+    pub fn uplink_drops(&self, n_servers: usize) -> u64 {
+        self.port_drops[n_servers.min(self.port_drops.len())..]
+            .iter()
+            .sum()
+    }
+}
+
+/// The outcome of one campaign on one rack instance. Plain data (`Send`):
+/// safe to ship out of a pool worker.
+#[derive(Debug, Clone)]
 pub struct CampaignRun {
-    /// The scenario after the run (counters, stats, hosts all inspectable).
-    pub scenario: Scenario,
     /// `(counter, series)` pairs in campaign order.
     pub series: Vec<(CounterId, Series)>,
     /// Poller behaviour during the campaign.
@@ -26,6 +202,8 @@ pub struct CampaignRun {
     pub fault_stats: Option<FaultStats>,
     /// Final adaptive-degradation level (0 unless degradation was armed).
     pub degrade_level: u32,
+    /// Post-run network state (switch totals, drops, transport).
+    pub net: NetSnapshot,
 }
 
 impl CampaignRun {
@@ -54,15 +232,7 @@ pub fn run_campaign(
     interval: Nanos,
     span: Nanos,
 ) -> CampaignRun {
-    run_campaign_hardened(
-        cfg,
-        counters,
-        interval,
-        span,
-        None,
-        RetryPolicy::default(),
-        None,
-    )
+    CampaignSpec::new(cfg, counters, interval, span).run()
 }
 
 /// [`run_campaign`] with the robustness layer armed: an optional
@@ -77,43 +247,10 @@ pub fn run_campaign_hardened(
     retry: RetryPolicy,
     degradation: Option<DegradationPolicy>,
 ) -> CampaignRun {
-    let seed = cfg.seed;
-    let mut scenario = build_scenario(cfg);
-    let warmup = scenario.recommended_warmup();
-    scenario.sim.run_until(warmup);
-    let campaign = CampaignConfig::group("bench", counters, interval);
-    let mut poller = Poller::in_memory(
-        scenario.counters.clone(),
-        AccessModel::default(),
-        campaign,
-        seed ^ 0x9e37_79b9,
-    )
-    .expect("bench campaign is well-formed")
-    .with_retry(retry);
-    if let Some(plan) = faults {
-        poller = poller.with_faults(FaultInjector::new(plan));
-    }
-    if let Some(policy) = degradation {
-        poller = poller.with_degradation(policy);
-    }
-    let stop = warmup + span;
-    let id = poller
-        .spawn(&mut scenario.sim, warmup, stop)
-        .expect("bench campaign window is non-empty");
-    // Slack past the stop so the final in-flight poll completes.
-    scenario.sim.run_until(stop + Nanos::from_millis(1));
-    let poller_ref = scenario.sim.node_mut::<Poller>(id);
-    let poller_stats = poller_ref.stats();
-    let fault_stats = poller_ref.fault_stats();
-    let degrade_level = poller_ref.degrade_level();
-    let series = poller_ref.take_series().expect("in-memory campaign");
-    CampaignRun {
-        scenario,
-        series,
-        poller_stats,
-        fault_stats,
-        degrade_level,
-    }
+    let mut spec = CampaignSpec::new(cfg, counters, interval, span).with_retry(retry);
+    spec.faults = faults;
+    spec.degradation = degradation;
+    spec.run()
 }
 
 /// The port a single-port campaign measures for a rack type, chosen
@@ -141,31 +278,45 @@ pub fn port_bps(cfg: &ScenarioConfig, port: PortId) -> u64 {
     }
 }
 
-/// Single-port, single-counter campaign at the paper's highest resolution:
-/// the egress byte counter of one ToR port. `port_index` selects an
-/// explicit port (`None` uses [`representative_port`]).
+/// The spec for a single-port, single-counter campaign at the paper's
+/// highest resolution: the egress byte counter of one ToR port.
+/// `port_index` selects an explicit port (`None` uses
+/// [`representative_port`]).
+pub fn single_port_spec(
+    cfg: ScenarioConfig,
+    port_index: Option<usize>,
+    interval: Nanos,
+    span: Nanos,
+) -> (CampaignSpec, PortId) {
+    let port = match port_index {
+        Some(i) => PortId(i as u16),
+        None => representative_port(&cfg),
+    };
+    (
+        CampaignSpec::new(cfg, vec![CounterId::TxBytes(port)], interval, span),
+        port,
+    )
+}
+
+/// Runs [`single_port_spec`] immediately.
 pub fn measure_single_port(
     cfg: ScenarioConfig,
     port_index: Option<usize>,
     interval: Nanos,
     span: Nanos,
 ) -> (CampaignRun, PortId) {
-    let port = match port_index {
-        Some(i) => PortId(i as u16),
-        None => representative_port(&cfg),
-    };
-    let run = run_campaign(cfg, vec![CounterId::TxBytes(port)], interval, span);
-    (run, port)
+    let (spec, port) = single_port_spec(cfg, port_index, interval, span);
+    (spec.run(), port)
 }
 
-/// Multi-port campaign: TX+RX byte counters for each requested port,
-/// aligned on the same poll timestamps.
-pub fn measure_port_groups(
+/// The spec for a multi-port campaign: TX+RX byte counters for each
+/// requested port, aligned on the same poll timestamps.
+pub fn port_groups_spec(
     cfg: ScenarioConfig,
     ports: &[PortId],
     interval: Nanos,
     span: Nanos,
-) -> CampaignRun {
+) -> CampaignSpec {
     let mut counters = Vec::with_capacity(ports.len() * 2);
     for &p in ports {
         counters.push(CounterId::TxBytes(p));
@@ -173,29 +324,57 @@ pub fn measure_port_groups(
     for &p in ports {
         counters.push(CounterId::RxBytes(p));
     }
-    run_campaign(cfg, counters, interval, span)
+    CampaignSpec::new(cfg, counters, interval, span)
 }
 
-/// All-port TX bytes plus the shared-buffer peak register — the Fig. 9 /
-/// Fig. 10 campaign.
-pub fn measure_buffer_and_ports(
+/// Runs [`port_groups_spec`] immediately.
+pub fn measure_port_groups(
+    cfg: ScenarioConfig,
+    ports: &[PortId],
+    interval: Nanos,
+    span: Nanos,
+) -> CampaignRun {
+    port_groups_spec(cfg, ports, interval, span).run()
+}
+
+/// The spec for an all-port TX bytes campaign plus the shared-buffer peak
+/// register — the Fig. 9 / Fig. 10 campaign.
+pub fn buffer_and_ports_spec(
     cfg: ScenarioConfig,
     interval: Nanos,
     span: Nanos,
-) -> (CampaignRun, Vec<PortId>) {
+) -> (CampaignSpec, Vec<PortId>) {
     let all_ports: Vec<PortId> = (0..(cfg.n_servers + cfg.clos.n_fabric))
         .map(|i| PortId(i as u16))
         .collect();
     let mut counters: Vec<CounterId> = all_ports.iter().map(|&p| CounterId::TxBytes(p)).collect();
     counters.push(CounterId::BufferPeak);
-    let run = run_campaign(cfg, counters, interval, span);
-    (run, all_ports)
+    (CampaignSpec::new(cfg, counters, interval, span), all_ports)
+}
+
+/// Runs [`buffer_and_ports_spec`] immediately.
+pub fn measure_buffer_and_ports(
+    cfg: ScenarioConfig,
+    interval: Nanos,
+    span: Nanos,
+) -> (CampaignRun, Vec<PortId>) {
+    let (spec, ports) = buffer_and_ports_spec(cfg, interval, span);
+    (spec.run(), ports)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use uburst_workloads::scenario::RackType;
+
+    /// The whole point of the reduction: campaign results cross threads.
+    #[test]
+    fn campaign_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CampaignSpec>();
+        assert_send::<CampaignRun>();
+        assert_send::<NetSnapshot>();
+    }
 
     #[test]
     fn single_port_campaign_produces_util_series() {
@@ -209,6 +388,10 @@ mod tests {
         assert!(util.iter().all(|u| u.util >= 0.0));
         // The poller missed ~1% of deadlines, not more.
         assert!(run.poller_stats.deadline_miss_fraction() < 0.05);
+        // The snapshot saw traffic and covers every ToR port.
+        assert!(run.net.tor.tx_bytes > 0);
+        assert_eq!(run.net.port_drops.len(), 24 + 4);
+        assert!(run.net.transport.flows_started > 0);
     }
 
     #[test]
@@ -231,6 +414,25 @@ mod tests {
         assert!(!peak.is_empty());
         // Hadoop must have put something in the buffer at some point.
         assert!(peak.vs.iter().any(|&v| v > 0), "buffer never occupied");
+    }
+
+    #[test]
+    fn spec_run_equals_wrapper_run() {
+        let mk = || {
+            let cfg = ScenarioConfig::new(RackType::Hadoop, 77);
+            CampaignSpec::new(
+                cfg,
+                vec![CounterId::TxBytes(PortId(1))],
+                Nanos::from_micros(100),
+                Nanos::from_millis(10),
+            )
+        };
+        let a = mk().run();
+        let b = mk().run();
+        assert_eq!(a.series[0].1.vs, b.series[0].1.vs);
+        assert_eq!(a.poller_stats, b.poller_stats);
+        assert_eq!(a.net.tor, b.net.tor);
+        assert_eq!(a.net.port_drops, b.net.port_drops);
     }
 
     #[test]

@@ -5,7 +5,8 @@ use uburst_core::series::UtilSample;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
-use crate::campaign::{measure_single_port, port_bps, representative_port};
+use crate::campaign::{port_bps, representative_port, single_port_spec};
+use crate::pool::run_jobs;
 use crate::scale::Scale;
 
 /// One rack instance's single-port utilization samples.
@@ -44,23 +45,25 @@ pub fn collect_single_port_utils_spanned(
     interval: Nanos,
     span: Nanos,
 ) -> Vec<PortUtilRun> {
-    let mut out = Vec::new();
+    // One job per (hour, rack instance); the engine preserves this order.
+    let mut jobs = Vec::with_capacity(hours.len() * racks);
     for (i, &hour) in hours.iter().enumerate() {
         for r in 0..racks {
-            let seed = 1000 * (i as u64 + 1) + r as u64;
-            let mut cfg = ScenarioConfig::new(rack_type, seed);
-            cfg.hour = hour;
-            let port = representative_port(&cfg);
-            let bps = port_bps(&cfg, port);
-            let (run, port) = measure_single_port(cfg, Some(port.0 as usize), interval, span);
-            out.push(PortUtilRun {
-                seed,
-                hour,
-                utils: run.utilization(CounterId::TxBytes(port), bps),
-            });
+            jobs.push((1000 * (i as u64 + 1) + r as u64, hour));
         }
     }
-    out
+    run_jobs(jobs, move |(seed, hour)| {
+        let mut cfg = ScenarioConfig::new(rack_type, seed);
+        cfg.hour = hour;
+        let port = representative_port(&cfg);
+        let bps = port_bps(&cfg, port);
+        let (spec, port) = single_port_spec(cfg, Some(port.0 as usize), interval, span);
+        PortUtilRun {
+            seed,
+            hour,
+            utils: spec.run().utilization(CounterId::TxBytes(port), bps),
+        }
+    })
 }
 
 /// Flattens burst durations (µs) across rack instances.

@@ -18,6 +18,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::run_campaign;
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -37,48 +38,58 @@ pub fn run(scale: Scale) -> String {
     )
     .unwrap();
 
+    // One campaign per (rack type, load); each worker reduces its run to
+    // (util, drop rate, drops) window triples. Job order matches the old
+    // nested loop, so the folded sample vectors are identical.
+    let mut jobs = Vec::new();
+    for rack_type in RackType::ALL {
+        for (li, &load) in loads.iter().enumerate() {
+            jobs.push((rack_type, li, load));
+        }
+    }
+    let samples: Vec<Vec<(f64, f64, u64)>> = run_jobs(jobs, |(rack_type, li, load)| {
+        let mut cfg = ScenarioConfig::new(rack_type, 20_000 + li as u64);
+        cfg.load = load;
+        let n = cfg.n_servers;
+        let bps = cfg.clos.server_link.bandwidth_bps;
+        let mut counters = Vec::new();
+        for i in 0..n {
+            counters.push(CounterId::TxBytes(PortId(i as u16)));
+            counters.push(CounterId::Drops(PortId(i as u16)));
+        }
+        let run = run_campaign(cfg, counters, interval, scale.campaign_span());
+        let mut triples = Vec::new();
+        for i in 0..n {
+            let p = PortId(i as u16);
+            let bytes = run.series_for(CounterId::TxBytes(p));
+            let drops = run.series_for(CounterId::Drops(p));
+            let (origin, end) = (
+                Nanos(bytes.ts[0]),
+                Nanos(*bytes.ts.last().expect("non-empty")),
+            );
+            if end.saturating_sub(origin) < window {
+                continue;
+            }
+            let bw = to_windows(bytes, origin, window, end);
+            let dw = to_windows(drops, origin, window, end);
+            for (b, d) in bw.iter().zip(&dw) {
+                triples.push((b.utilization(bps), d.rate(), d.delta));
+            }
+        }
+        triples
+    });
+
     let mut utils: Vec<f64> = Vec::new();
     let mut drop_rates: Vec<f64> = Vec::new();
     let mut windows_with_drops = 0usize;
     let mut low_util_drop_windows = 0usize;
-
-    for rack_type in RackType::ALL {
-        for (li, &load) in loads.iter().enumerate() {
-            let mut cfg = ScenarioConfig::new(rack_type, 20_000 + li as u64);
-            cfg.load = load;
-            let n = cfg.n_servers;
-            let bps = cfg.clos.server_link.bandwidth_bps;
-            let mut counters = Vec::new();
-            for i in 0..n {
-                counters.push(CounterId::TxBytes(PortId(i as u16)));
-                counters.push(CounterId::Drops(PortId(i as u16)));
-            }
-            let run = run_campaign(cfg, counters, interval, scale.campaign_span());
-            for i in 0..n {
-                let p = PortId(i as u16);
-                let bytes = run.series_for(CounterId::TxBytes(p));
-                let drops = run.series_for(CounterId::Drops(p));
-                let (origin, end) = (
-                    Nanos(bytes.ts[0]),
-                    Nanos(*bytes.ts.last().expect("non-empty")),
-                );
-                if end.saturating_sub(origin) < window {
-                    continue;
-                }
-                let bw = to_windows(bytes, origin, window, end);
-                let dw = to_windows(drops, origin, window, end);
-                for (b, d) in bw.iter().zip(&dw) {
-                    let util = b.utilization(bps);
-                    let rate = d.rate(); // drops per second
-                    utils.push(util);
-                    drop_rates.push(rate);
-                    if d.delta > 0 {
-                        windows_with_drops += 1;
-                        if util < 0.3 {
-                            low_util_drop_windows += 1;
-                        }
-                    }
-                }
+    for (util, rate, delta) in samples.into_iter().flatten() {
+        utils.push(util);
+        drop_rates.push(rate);
+        if delta > 0 {
+            windows_with_drops += 1;
+            if util < 0.3 {
+                low_util_drop_windows += 1;
             }
         }
     }

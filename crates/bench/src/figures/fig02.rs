@@ -18,12 +18,11 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::run_campaign;
+use crate::pool::run_jobs;
 use crate::scale::Scale;
 
 /// Runs the experiment and renders the report.
 pub fn run(scale: Scale) -> String {
-    let interval = Nanos::from_micros(500);
-    let window = Nanos::from_millis(5);
     let mut out = String::new();
     writeln!(
         out,
@@ -34,10 +33,26 @@ pub fn run(scale: Scale) -> String {
 
     // (label, rack type, load) — Web needs extra load to experience drops
     // at our scaled-down buffer, mirroring the paper's biased port choice.
-    for (label, rack_type, load) in [
-        ("(a) low-utilization port", RackType::Web, 1.0),
-        ("(b) high-utilization port", RackType::Hadoop, 2.2),
-    ] {
+    // The two panels are independent campaigns; render each in a worker.
+    let panels = run_jobs(
+        vec![
+            ("(a) low-utilization port", RackType::Web, 1.0),
+            ("(b) high-utilization port", RackType::Hadoop, 2.2),
+        ],
+        |(label, rack_type, load)| render_panel(scale, label, rack_type, load),
+    );
+    for panel in panels {
+        out.push_str(&panel);
+    }
+    out
+}
+
+/// One panel: run the campaign, pick the dropiest port, render its series.
+fn render_panel(scale: Scale, label: &str, rack_type: RackType, load: f64) -> String {
+    let interval = Nanos::from_micros(500);
+    let window = Nanos::from_millis(5);
+    let mut out = String::new();
+    {
         let mut cfg = ScenarioConfig::new(rack_type, 30_303);
         cfg.load = load;
         if rack_type == RackType::Web {

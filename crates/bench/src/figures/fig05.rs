@@ -15,6 +15,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::{port_bps, representative_port, run_campaign};
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -43,39 +44,57 @@ pub fn run(scale: Scale) -> String {
     let mut hists = String::new();
     let mut rel_increases = Vec::new();
 
+    // One campaign per (rack type, instance); workers reduce each run to
+    // its inside/outside bin counts, folded per rack type afterwards.
+    let racks = scale.racks_per_type();
+    let mut jobs = Vec::new();
     for rack_type in RackType::ALL {
+        for r in 0..racks {
+            jobs.push((rack_type, r));
+        }
+    }
+    let per_rack_counts = run_jobs(jobs, |(rack_type, r)| {
+        let cfg = ScenarioConfig::new(rack_type, 7_000 + r as u64);
+        let port = representative_port(&cfg);
+        let bps = port_bps(&cfg, port);
+        // The paper's multi-counter campaign: histogram bins polled
+        // alongside the byte counter.
+        let mut counters: Vec<CounterId> = (0..N_SIZE_BINS as u8)
+            .map(|b| CounterId::TxSizeHist(port, b))
+            .collect();
+        counters.push(CounterId::TxBytes(port));
+        let run = run_campaign(cfg, counters, interval, scale.campaign_span());
+
+        let utils = run.utilization(CounterId::TxBytes(port), bps);
+        let hot = hot_chain(&utils, HOT_THRESHOLD);
+        // Interval-aligned histogram snapshots -> per-interval deltas.
+        let n = utils.len() + 1;
+        let snaps: Vec<Vec<u64>> = (0..n)
+            .map(|i| {
+                (0..N_SIZE_BINS as u8)
+                    .map(|b| run.series_for(CounterId::TxSizeHist(port, b)).vs[i])
+                    .collect()
+            })
+            .collect();
+        let deltas = diff_histogram_snapshots(&snaps);
+        let (inside, outside) = split_by_burst(&deltas, &hot);
+        // Recover raw counts from the normalized fractions via totals.
+        let mut counts = (vec![0u64; N_SIZE_BINS], vec![0u64; N_SIZE_BINS]);
+        for b in 0..N_SIZE_BINS {
+            counts.0[b] = (inside.fractions[b] * inside.total as f64).round() as u64;
+            counts.1[b] = (outside.fractions[b] * outside.total as f64).round() as u64;
+        }
+        counts
+    });
+
+    for (ti, rack_type) in RackType::ALL.into_iter().enumerate() {
         // Accumulate inside/outside bin counts across rack instances.
         let mut inside_acc = vec![0u64; N_SIZE_BINS];
         let mut outside_acc = vec![0u64; N_SIZE_BINS];
-        for r in 0..scale.racks_per_type() {
-            let cfg = ScenarioConfig::new(rack_type, 7_000 + r as u64);
-            let port = representative_port(&cfg);
-            let bps = port_bps(&cfg, port);
-            // The paper's multi-counter campaign: histogram bins polled
-            // alongside the byte counter.
-            let mut counters: Vec<CounterId> = (0..N_SIZE_BINS as u8)
-                .map(|b| CounterId::TxSizeHist(port, b))
-                .collect();
-            counters.push(CounterId::TxBytes(port));
-            let run = run_campaign(cfg, counters, interval, scale.campaign_span());
-
-            let utils = run.utilization(CounterId::TxBytes(port), bps);
-            let hot = hot_chain(&utils, HOT_THRESHOLD);
-            // Interval-aligned histogram snapshots -> per-interval deltas.
-            let n = utils.len() + 1;
-            let snaps: Vec<Vec<u64>> = (0..n)
-                .map(|i| {
-                    (0..N_SIZE_BINS as u8)
-                        .map(|b| run.series_for(CounterId::TxSizeHist(port, b)).vs[i])
-                        .collect()
-                })
-                .collect();
-            let deltas = diff_histogram_snapshots(&snaps);
-            let (inside, outside) = split_by_burst(&deltas, &hot);
-            // Recover raw counts from the normalized fractions via totals.
+        for (inside, outside) in &per_rack_counts[ti * racks..(ti + 1) * racks] {
             for b in 0..N_SIZE_BINS {
-                inside_acc[b] += (inside.fractions[b] * inside.total as f64).round() as u64;
-                outside_acc[b] += (outside.fractions[b] * outside.total as f64).round() as u64;
+                inside_acc[b] += inside[b];
+                outside_acc[b] += outside[b];
             }
         }
         let inside = uburst_analysis::NormalizedHistogram::from_counts(&inside_acc);

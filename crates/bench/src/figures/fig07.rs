@@ -17,6 +17,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::measure_port_groups;
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -59,7 +60,15 @@ pub fn run(scale: Scale) -> String {
     let mut fine_p50s = Vec::new();
     let mut curves = String::new();
 
-    for rack_type in RackType::ALL {
+    // One campaign per rack type; workers render both directions' rows,
+    // curves, and checks, folded below in rack-type order.
+    struct RackPanel {
+        rows: Vec<[String; 6]>,
+        curves: String,
+        checks: Vec<(String, bool)>,
+        egress_fine_p50: f64,
+    }
+    let panels = run_jobs(RackType::ALL.to_vec(), |rack_type| {
         let cfg = ScenarioConfig::new(rack_type, 4_321);
         let n = cfg.n_servers;
         let uplink_bps = cfg.clos.uplink.bandwidth_bps;
@@ -68,6 +77,12 @@ pub fn run(scale: Scale) -> String {
             .collect();
         let run = measure_port_groups(cfg, &uplinks, interval, scale.campaign_span());
 
+        let mut panel = RackPanel {
+            rows: Vec::new(),
+            curves: String::new(),
+            checks: Vec::new(),
+            egress_fine_p50: 0.0,
+        };
         let directions: [(&str, DirectionCounter); 2] = [
             ("egress", CounterId::TxBytes),
             ("ingress", CounterId::RxBytes),
@@ -88,11 +103,11 @@ pub fn run(scale: Scale) -> String {
             let coarse = mad_per_period(&coarse_series);
             let fine_ecdf = Ecdf::new(fine);
             let coarse_ecdf = Ecdf::new(coarse);
-            writeln!(curves, "\n{} {dir} MAD CDF (40us):", rack_type.name()).unwrap();
+            writeln!(panel.curves, "\n{} {dir} MAD CDF (40us):", rack_type.name()).unwrap();
             for (x, f) in fine_ecdf.curve(&MAD_POINTS) {
-                writeln!(curves, "  {x:>5.2}  {f:.3}").unwrap();
+                writeln!(panel.curves, "  {x:>5.2}  {f:.3}").unwrap();
             }
-            table.row(&[
+            panel.rows.push([
                 rack_type.name().to_string(),
                 dir.to_string(),
                 format!("{:.2}", fine_ecdf.quantile(0.5)),
@@ -101,8 +116,8 @@ pub fn run(scale: Scale) -> String {
                 format!("{:.2}", coarse_ecdf.quantile(0.9)),
             ]);
             if dir == "egress" {
-                fine_p50s.push((rack_type, fine_ecdf.quantile(0.5)));
-                checks.push((
+                panel.egress_fine_p50 = fine_ecdf.quantile(0.5);
+                panel.checks.push((
                     format!(
                         "{rack} egress: median fine MAD > 25% (got {got:.0}%)",
                         rack = rack_type.name(),
@@ -110,7 +125,7 @@ pub fn run(scale: Scale) -> String {
                     ),
                     fine_ecdf.quantile(0.5) > 0.25,
                 ));
-                checks.push((
+                panel.checks.push((
                     format!(
                         "{rack}: coarse windows look balanced (coarse p50 {c:.2} << fine p50 {f:.2})",
                         rack = rack_type.name(),
@@ -120,7 +135,7 @@ pub fn run(scale: Scale) -> String {
                     coarse_ecdf.quantile(0.5) < 0.5 * fine_ecdf.quantile(0.5),
                 ));
             } else {
-                checks.push((
+                panel.checks.push((
                     format!(
                         "{rack} ingress disperses like egress (fine p50 {got:.2})",
                         rack = rack_type.name(),
@@ -130,6 +145,15 @@ pub fn run(scale: Scale) -> String {
                 ));
             }
         }
+        panel
+    });
+    for (rack_type, panel) in RackType::ALL.into_iter().zip(panels) {
+        for row in &panel.rows {
+            table.row(row);
+        }
+        curves.push_str(&panel.curves);
+        checks.extend(panel.checks);
+        fine_p50s.push((rack_type, panel.egress_fine_p50));
     }
 
     let hadoop_p90_hint = fine_p50s

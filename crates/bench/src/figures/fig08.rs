@@ -14,6 +14,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::measure_port_groups;
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -76,7 +77,8 @@ pub fn run(scale: Scale) -> String {
     let mut maps = String::new();
     let mut summary = Vec::new();
 
-    for rack_type in RackType::ALL {
+    // One campaign + 24x24 correlation matrix per rack type, in workers.
+    let panels = run_jobs(RackType::ALL.to_vec(), |rack_type| {
         let cfg = ScenarioConfig::new(rack_type, 8_642);
         let n = cfg.n_servers;
         let pod_size = cfg.cache.pod_size;
@@ -95,6 +97,9 @@ pub fn run(scale: Scale) -> String {
         let m = correlation_matrix(&series);
         let off = mean_offdiagonal(&m);
         let (same, cross) = pod_split(&m, pod_size);
+        (off, same, cross, ascii_heatmap(&m))
+    });
+    for (rack_type, (off, same, cross, heatmap)) in RackType::ALL.into_iter().zip(panels) {
         summary.push((rack_type, off, same, cross));
         table.row(&[
             rack_type.name().to_string(),
@@ -103,7 +108,7 @@ pub fn run(scale: Scale) -> String {
             format!("{cross:.3}"),
         ]);
         writeln!(maps, "\n{} server x server heatmap:", rack_type.name()).unwrap();
-        maps.push_str(&ascii_heatmap(&m));
+        maps.push_str(&heatmap);
     }
 
     writeln!(out, "{}", table.render()).unwrap();

@@ -13,6 +13,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::{measure_buffer_and_ports, port_bps};
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -36,33 +37,47 @@ pub fn run(scale: Scale) -> String {
     ]);
     let mut checks: Vec<(String, bool)> = Vec::new();
 
-    for (rack_type, paper_share) in [
+    let rack_cases = [
         (RackType::Web, "<0.18"),
         (RackType::Cache, ">0.5 (majority)"),
         (RackType::Hadoop, "~0.18"),
-    ] {
+    ];
+    // One campaign per (rack type, instance); workers count hot samples.
+    let racks = scale.racks_per_type();
+    let mut jobs = Vec::new();
+    for (rack_type, _) in rack_cases {
+        for r in 0..racks {
+            jobs.push((rack_type, r));
+        }
+    }
+    let hot_counts = run_jobs(jobs, |(rack_type, r)| {
+        let cfg = ScenarioConfig::new(rack_type, 9_100 + r as u64);
+        let n = cfg.n_servers;
+        let bps: Vec<u64> = (0..(n + cfg.clos.n_fabric))
+            .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
+            .collect();
+        let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
         let mut hot_dn = 0usize;
         let mut hot_up = 0usize;
-        for r in 0..scale.racks_per_type() {
-            let cfg = ScenarioConfig::new(rack_type, 9_100 + r as u64);
-            let n = cfg.n_servers;
-            let bps: Vec<u64> = (0..(n + cfg.clos.n_fabric))
-                .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
-                .collect();
-            let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
-            for (i, &p) in ports.iter().enumerate() {
-                let hot = run
-                    .utilization(CounterId::TxBytes(p), bps[i])
-                    .iter()
-                    .filter(|u| u.util > HOT_THRESHOLD)
-                    .count();
-                if i < n {
-                    hot_dn += hot;
-                } else {
-                    hot_up += hot;
-                }
+        for (i, &p) in ports.iter().enumerate() {
+            let hot = run
+                .utilization(CounterId::TxBytes(p), bps[i])
+                .iter()
+                .filter(|u| u.util > HOT_THRESHOLD)
+                .count();
+            if i < n {
+                hot_dn += hot;
+            } else {
+                hot_up += hot;
             }
         }
+        (hot_dn, hot_up)
+    });
+
+    for (ti, (rack_type, paper_share)) in rack_cases.into_iter().enumerate() {
+        let (hot_dn, hot_up) = hot_counts[ti * racks..(ti + 1) * racks]
+            .iter()
+            .fold((0usize, 0usize), |(dn, up), &(d, u)| (dn + d, up + u));
         let total = hot_dn + hot_up;
         let share = if total == 0 {
             0.0

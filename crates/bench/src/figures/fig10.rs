@@ -15,6 +15,7 @@ use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
 
 use crate::campaign::{measure_buffer_and_ports, port_bps};
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -45,47 +46,64 @@ pub fn run(scale: Scale) -> String {
     let mut per_rack: Vec<RackOccupancy> = Vec::new();
     let mut global_max = 0.0f64;
 
+    // One campaign per (rack type, instance); workers produce that
+    // instance's (hot ports, window peak) pairs, folded per rack type in
+    // submission order below.
+    let racks = scale.racks_per_type();
+    let mut jobs = Vec::new();
     for rack_type in RackType::ALL {
+        for r in 0..racks {
+            jobs.push((rack_type, r));
+        }
+    }
+    let instance_pairs = run_jobs(jobs, |(rack_type, r)| {
+        let cfg = ScenarioConfig::new(rack_type, 10_500 + r as u64);
+        let n_ports = cfg.n_servers + cfg.clos.n_fabric;
+        let bps: Vec<u64> = (0..n_ports)
+            .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
+            .collect();
+        let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
+
+        // Per-port hot flags per sampling period.
+        let port_utils: Vec<Vec<f64>> = ports
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                run.utilization(CounterId::TxBytes(p), bps[i])
+                    .iter()
+                    .map(|u| u.util)
+                    .collect()
+            })
+            .collect();
+        let peaks = run.series_for(CounterId::BufferPeak);
+        let n_samples = port_utils[0].len();
+        let samples_per_window = (window.as_nanos() / interval.as_nanos()) as usize;
+        let n_windows = n_samples / samples_per_window;
+        let mut pairs = Vec::with_capacity(n_windows);
+        for w in 0..n_windows {
+            let lo = w * samples_per_window;
+            let hi = lo + samples_per_window;
+            // A port is hot in the window if any of its periods was hot.
+            let hot_ports = port_utils
+                .iter()
+                .filter(|u| u[lo..hi].iter().any(|&x| x > HOT_THRESHOLD))
+                .count();
+            // Window peak = max of the read-and-clear register's reads.
+            // The peak series has one more sample than the rate series.
+            let peak = peaks.vs[lo + 1..=hi].iter().copied().max().unwrap_or(0) as f64;
+            pairs.push((hot_ports, peak));
+        }
+        (pairs, n_ports)
+    });
+    for (ti, rack_type) in RackType::ALL.into_iter().enumerate() {
         let mut pairs: Vec<(usize, f64)> = Vec::new();
         let mut n_ports_total = 0usize;
-        for r in 0..scale.racks_per_type() {
-            let cfg = ScenarioConfig::new(rack_type, 10_500 + r as u64);
-            let n_ports = cfg.n_servers + cfg.clos.n_fabric;
-            n_ports_total = n_ports;
-            let bps: Vec<u64> = (0..n_ports)
-                .map(|i| port_bps(&cfg, uburst_sim::node::PortId(i as u16)))
-                .collect();
-            let (run, ports) = measure_buffer_and_ports(cfg, interval, scale.campaign_span());
-
-            // Per-port hot flags per sampling period.
-            let port_utils: Vec<Vec<f64>> = ports
-                .iter()
-                .enumerate()
-                .map(|(i, &p)| {
-                    run.utilization(CounterId::TxBytes(p), bps[i])
-                        .iter()
-                        .map(|u| u.util)
-                        .collect()
-                })
-                .collect();
-            let peaks = run.series_for(CounterId::BufferPeak);
-            let n_samples = port_utils[0].len();
-            let samples_per_window = (window.as_nanos() / interval.as_nanos()) as usize;
-            let n_windows = n_samples / samples_per_window;
-            for w in 0..n_windows {
-                let lo = w * samples_per_window;
-                let hi = lo + samples_per_window;
-                // A port is hot in the window if any of its periods was hot.
-                let hot_ports = port_utils
-                    .iter()
-                    .filter(|u| u[lo..hi].iter().any(|&x| x > HOT_THRESHOLD))
-                    .count();
-                // Window peak = max of the read-and-clear register's reads.
-                // The peak series has one more sample than the rate series.
-                let peak = peaks.vs[lo + 1..=hi].iter().copied().max().unwrap_or(0) as f64;
+        for (instance, n_ports) in &instance_pairs[ti * racks..(ti + 1) * racks] {
+            for &(k, peak) in instance {
                 global_max = global_max.max(peak);
-                pairs.push((hot_ports, peak));
+                pairs.push((k, peak));
             }
+            n_ports_total = *n_ports;
         }
         per_rack.push((rack_type, pairs, n_ports_total));
     }

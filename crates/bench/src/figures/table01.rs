@@ -14,6 +14,7 @@ use uburst_core::tuning::{probe_loss_profile, tune_min_interval, TuningConfig};
 use uburst_sim::node::PortId;
 use uburst_sim::time::Nanos;
 
+use crate::pool::run_jobs;
 use crate::report::Table;
 use crate::scale::Scale;
 
@@ -34,16 +35,20 @@ pub fn run(scale: Scale) -> String {
     .unwrap();
 
     let mut table = Table::new(&["interval", "empty_intervals", "late_samples", "paper"]);
-    let mut measured = Vec::new();
-    for (us, paper) in [(1u64, "100%"), (10, "~10%"), (25, "~1%")] {
-        let (miss, late) = probe_loss_profile(
+    let probe_cases = [(1u64, "100%"), (10, "~10%"), (25, "~1%")];
+    // Each probe is an independent simulated campaign: run them on the pool.
+    let profiles = run_jobs(probe_cases.map(|(us, _)| us).to_vec(), |us| {
+        probe_loss_profile(
             &byte_counter,
             access,
             Nanos::from_micros(us),
             duration,
             CoreMode::Dedicated,
             42 + us,
-        );
+        )
+    });
+    let mut measured = Vec::new();
+    for ((us, paper), (miss, late)) in probe_cases.into_iter().zip(profiles) {
         measured.push((us, miss, late));
         table.row(&[
             format!("{us}us"),
@@ -66,25 +71,32 @@ pub fn run(scale: Scale) -> String {
         probe_duration: duration,
         ..TuningConfig::default()
     };
-    let byte_tuned = tune_min_interval(&byte_counter, access, &tuning).min_interval;
-    tune_table.row(&[
-        "byte counter".into(),
-        format!("{byte_tuned}"),
-        "25us".into(),
-    ]);
     let peak_tuning = TuningConfig {
         max_interval: Nanos::from_micros(400),
         probe_duration: duration,
         ..TuningConfig::default()
     };
-    let peak_tuned = tune_min_interval(&[CounterId::BufferPeak], access, &peak_tuning).min_interval;
+    let four_bytes: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
+    // The three tuner runs are independent probe sweeps: pool them too.
+    let tune_jobs: Vec<(Vec<CounterId>, TuningConfig)> = vec![
+        (byte_counter.to_vec(), tuning),
+        (vec![CounterId::BufferPeak], peak_tuning),
+        (four_bytes, tuning),
+    ];
+    let tuned = run_jobs(tune_jobs, |(counters, tuning)| {
+        tune_min_interval(&counters, access, &tuning).min_interval
+    });
+    let (byte_tuned, peak_tuned, group_tuned) = (tuned[0], tuned[1], tuned[2]);
+    tune_table.row(&[
+        "byte counter".into(),
+        format!("{byte_tuned}"),
+        "25us".into(),
+    ]);
     tune_table.row(&[
         "buffer peak register".into(),
         format!("{peak_tuned}"),
         "50us".into(),
     ]);
-    let four_bytes: Vec<CounterId> = (0..4).map(|p| CounterId::TxBytes(PortId(p))).collect();
-    let group_tuned = tune_min_interval(&four_bytes, access, &tuning).min_interval;
     tune_table.row(&[
         "4 byte counters (one campaign)".into(),
         format!("{group_tuned}"),

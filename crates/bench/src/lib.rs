@@ -12,15 +12,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod campaign;
 pub mod figures;
+pub mod pool;
 pub mod report;
 pub mod scale;
 
 pub use campaign::{
     measure_buffer_and_ports, measure_port_groups, measure_single_port, port_bps,
-    representative_port, run_campaign_hardened, CampaignRun,
+    representative_port, run_campaign_hardened, CampaignRun, CampaignSpec, NetSnapshot,
 };
+pub use pool::{run_jobs, run_jobs_on, run_parallel, run_parallel_on};
 pub use report::{fmt_bytes, fmt_fraction, print_cdf_table, Table};
 pub use scale::Scale;
 

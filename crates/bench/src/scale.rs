@@ -58,6 +58,44 @@ impl Scale {
             Scale::Full => "full",
         }
     }
+
+    /// Timed iterations a bench harness should run, given the count it
+    /// would use at full scale. Quick keeps enough iterations for a stable
+    /// median (>= 5) while cutting CI wall-clock roughly 3x.
+    pub fn bench_iters(self, full: usize) -> usize {
+        match self {
+            Scale::Quick => (full / 3).max(5).min(full),
+            Scale::Full => full,
+        }
+    }
+
+    /// Worker threads the parallel campaign engine may use.
+    ///
+    /// Reads `UBURST_THREADS` from the environment; any value `>= 1` is
+    /// honored verbatim (so `UBURST_THREADS=1` forces sequential execution,
+    /// the determinism baseline). Unset or unparsable values fall back to
+    /// [`std::thread::available_parallelism`]. Campaigns are seeded and
+    /// independent, so the thread count never changes any result — only
+    /// wall-clock time (see `pool.rs`).
+    pub fn threads() -> usize {
+        match std::env::var("UBURST_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("UBURST_THREADS={s:?} not a positive integer; using all cores");
+                    available_cores()
+                }
+            },
+            Err(_) => available_cores(),
+        }
+    }
+}
+
+/// Hardware parallelism, defaulting to 1 where it cannot be queried.
+fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -70,5 +108,21 @@ mod tests {
         assert!(Scale::Full.campaign_span() > Scale::Quick.campaign_span());
         assert!(Scale::Full.hours().len() > Scale::Quick.hours().len());
         assert_eq!(Scale::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn bench_iters_scales_down_but_stays_stable() {
+        assert_eq!(Scale::Full.bench_iters(20), 20);
+        assert_eq!(Scale::Quick.bench_iters(20), 6);
+        assert_eq!(Scale::Quick.bench_iters(50), 16);
+        // Never below 5 iterations, never above the full count.
+        assert_eq!(Scale::Quick.bench_iters(10), 5);
+        assert_eq!(Scale::Quick.bench_iters(3), 3);
+    }
+
+    #[test]
+    fn threads_is_positive() {
+        // Whatever the environment says, the engine always gets >= 1.
+        assert!(Scale::threads() >= 1);
     }
 }

@@ -82,10 +82,19 @@ pub struct EventQueue {
 }
 
 impl EventQueue {
-    /// An empty calendar.
+    /// An empty calendar with a small default capacity.
     pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// An empty calendar pre-sized for `cap` pending events.
+    ///
+    /// Busy scenarios keep tens of thousands of events in flight; sizing
+    /// the heap up front avoids the doubling reallocations (and copies of
+    /// every pending [`Event`]) the growth path would otherwise pay.
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(1024),
+            heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             scheduled_total: 0,
         }

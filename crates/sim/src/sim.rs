@@ -36,6 +36,20 @@ impl Simulator {
         }
     }
 
+    /// An empty simulation whose event calendar is pre-sized for
+    /// `event_capacity` pending events (see [`EventQueue::with_capacity`]).
+    /// Scenario builders that can estimate their in-flight event count
+    /// should prefer this over [`Simulator::new`].
+    pub fn with_event_capacity(event_capacity: usize) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            wiring: Wiring::new(),
+            queue: EventQueue::with_capacity(event_capacity),
+            now: Nanos::ZERO,
+            dispatched: 0,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Nanos {
         self.now

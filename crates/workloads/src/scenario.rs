@@ -302,7 +302,13 @@ pub fn build_scenario(cfg: ScenarioConfig) -> Scenario {
     assert!(cfg.n_servers >= 4, "rack too small");
     assert!(cfg.n_remotes >= 2, "need remote endpoints");
     assert!(cfg.load > 0.0);
-    let mut sim = Simulator::new();
+    // Pre-size the event calendar: each endpoint keeps a handful of
+    // in-flight events (arrivals, tx-completions, timers) and load scales
+    // the packet population roughly linearly. The estimate only has to be
+    // the right order of magnitude to skip the heap's doubling phase.
+    let endpoints = cfg.n_servers + cfg.n_remotes + cfg.clos.n_fabric + 1;
+    let event_capacity = (endpoints * 64).next_power_of_two() * (1 + cfg.load as usize);
+    let mut sim = Simulator::with_event_capacity(event_capacity);
     let mut rng = Rng::new(cfg.seed);
 
     // Spawn all hosts idle; install apps after ids exist.
