@@ -1,0 +1,302 @@
+//! Extension experiment: crash-safe sample persistence under hostile links.
+//!
+//! The paper's collection tier streams counter batches from switch-local
+//! agents to an aggregation point; in production both halves fail — the
+//! collector host dies mid-write and the links between them drop, delay,
+//! and duplicate traffic. This harness sweeps the link fault intensity on
+//! a fixed shipping session (3 sources, go-back-N shippers, WAL-backed
+//! receiver with fsync-always) and, at every intensity, drives a seeded
+//! crash sweep across the WAL byte stream, reporting
+//!
+//! * **recovery coverage** — the fraction of crash points where the
+//!   recovered store equals *exactly* the acked prefix (the durability
+//!   contract: no acked record lost, no unacked record resurrected),
+//! * **tear anatomy** — how many crash points landed mid-record (torn
+//!   tails truncated on recovery) vs. on a frame boundary, and
+//! * **convergence** — whether resuming the surviving shippers against
+//!   the recovered store re-delivers every gap, byte-identical to the
+//!   crash-free reference export.
+//!
+//! Everything is deterministic from the printed seed.
+//!
+//! Run with `cargo run --release -p uburst-bench --bin ext_durability`.
+
+use std::collections::BTreeMap;
+
+use uburst_bench::report::Table;
+use uburst_core::{
+    AckMsg, Batch, CrashPlan, DurableStore, FsyncPolicy, LinkPlan, LossyLink, MemStorage, SeqBatch,
+    Series, Shipper, ShipperConfig, SourceId, TornStorage, WalConfig, WalError, WalStorage,
+};
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+
+const SEED: u64 = 0xD00B_1E55;
+const SOURCES: u32 = 3;
+const BATCHES_PER_SOURCE: u64 = 16;
+const SAMPLES_PER_BATCH: u64 = 4;
+/// Small segments so every sweep crosses several rotation boundaries.
+const SEGMENT_BYTES: usize = 512;
+
+fn wal_config() -> WalConfig {
+    WalConfig {
+        segment_max_bytes: SEGMENT_BYTES,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn make_batch(source: u32, i: u64) -> Batch {
+    let mut s = Series::new();
+    for k in 0..SAMPLES_PER_BATCH {
+        s.push(Nanos(1 + i * 100 + k), i * 10 + k);
+    }
+    Batch {
+        source: SourceId(source),
+        campaign: "durability".into(),
+        counter: uburst_asic::CounterId::TxBytes(PortId(source as u16)),
+        samples: s,
+    }
+}
+
+fn fresh_shippers() -> Vec<Shipper> {
+    (0..SOURCES)
+        .map(|src| {
+            let mut sh = Shipper::new(
+                SourceId(src),
+                ShipperConfig {
+                    window: 8,
+                    rto_ticks: 4,
+                },
+            );
+            for i in 0..BATCHES_PER_SOURCE {
+                sh.offer(make_batch(src, i));
+            }
+            sh
+        })
+        .collect()
+}
+
+/// Shippers → lossy link → durable store → lossy ack link → shippers,
+/// until drained or the storage crashes. Tracks the highest ack issued.
+fn run_session<S: WalStorage>(
+    ds: &mut DurableStore<S>,
+    shippers: &mut [Shipper],
+    acked: &mut BTreeMap<SourceId, u64>,
+    plan: LinkPlan,
+    link_seed: u64,
+) -> Result<u64, WalError> {
+    let mut data_link: LossyLink<SeqBatch> = LossyLink::new(plan, link_seed);
+    let mut ack_link: LossyLink<AckMsg> = LossyLink::new(plan, link_seed ^ 1);
+    for tick in 0u64..100_000 {
+        for sh in shippers.iter_mut() {
+            for sb in sh.tick() {
+                data_link.send(sb);
+            }
+        }
+        for sb in data_link.tick() {
+            let (_, ack) = ds.ingest(&sb)?;
+            let best = acked.entry(ack.source).or_insert(0);
+            *best = (*best).max(ack.cum);
+            ack_link.send(ack);
+        }
+        for ack in ack_link.tick() {
+            shippers[ack.source.0 as usize].on_ack(ack);
+        }
+        if shippers.iter().all(Shipper::done)
+            && data_link.in_flight() == 0
+            && ack_link.in_flight() == 0
+        {
+            return Ok(tick + 1);
+        }
+    }
+    panic!("session livelocked: shippers never drained");
+}
+
+/// One crash sweep at a given link intensity.
+struct SweepResult {
+    loss_pct: f64,
+    ref_ticks: u64,
+    retransmits: u64,
+    crash_points: usize,
+    exact_prefix: usize,
+    torn_tails: usize,
+    converged: usize,
+    total_bytes: u64,
+    /// Digest of every per-point outcome, for the determinism replay.
+    digest: u64,
+}
+
+fn link_plan_at(loss_pct: f64) -> LinkPlan {
+    LinkPlan {
+        drop_p: loss_pct / 100.0,
+        dup_p: loss_pct / 200.0,
+        delay_p: (loss_pct / 50.0).min(0.5),
+        max_delay_ticks: 3,
+    }
+}
+
+fn sweep_at(loss_pct: f64, crash_points: usize) -> SweepResult {
+    let plan = link_plan_at(loss_pct);
+    let link_seed = SEED ^ (loss_pct * 1000.0) as u64;
+
+    // Crash-free reference: establishes the exact byte stream and export.
+    let mut ds = DurableStore::create(MemStorage::new(), wal_config()).expect("create");
+    let mut shippers = fresh_shippers();
+    let mut acked = BTreeMap::new();
+    let ref_ticks =
+        run_session(&mut ds, &mut shippers, &mut acked, plan, link_seed).expect("intact storage");
+    let retransmits: u64 = shippers.iter().map(|s| s.stats().retransmits).sum();
+    let mut reference_csv = Vec::new();
+    ds.store().export_csv(&mut reference_csv).expect("export");
+    let total_bytes = ds.wal().total_bytes();
+    let record_ends = ds.wal().record_ends().to_vec();
+
+    let crash_plan = CrashPlan::sweep(link_seed, total_bytes, &record_ends, crash_points);
+    let mut exact_prefix = 0usize;
+    let mut torn_tails = 0usize;
+    let mut converged = 0usize;
+    let mut digest = 0xcbf2_9ce4_8422_2325u64; // FNV-1a basis
+    let mut mix = |v: u64| {
+        digest = (digest ^ v).wrapping_mul(0x1000_0000_01b3);
+    };
+    for &budget in crash_plan.offsets() {
+        // Session until the injected crash; the link stream must match the
+        // reference run byte-for-byte, so it reuses the same link seed.
+        let disk = MemStorage::new();
+        let torn = TornStorage::new(disk.clone(), budget);
+        let mut acked: BTreeMap<SourceId, u64> = BTreeMap::new();
+        let mut shippers = fresh_shippers();
+        if let Ok(mut ds) = DurableStore::create(torn, wal_config()) {
+            let crashed = run_session(&mut ds, &mut shippers, &mut acked, plan, link_seed);
+            assert!(crashed.is_err(), "budget {budget} must crash the session");
+        }
+
+        let (rec, report) =
+            DurableStore::recover(disk, wal_config()).expect("recovery never fails");
+        torn_tails += report.torn_tails as usize;
+        let exact = (0..SOURCES).all(|src| {
+            rec.store().contiguous(SourceId(src)) == acked.get(&SourceId(src)).copied().unwrap_or(0)
+        });
+        exact_prefix += exact as usize;
+
+        // Resume: surviving shippers re-deliver every gap over a fresh link.
+        for sh in &shippers {
+            rec.note_stream_state(sh.source(), sh.next_seq());
+        }
+        let mut rec = rec;
+        run_session(
+            &mut rec,
+            &mut shippers,
+            &mut acked,
+            plan,
+            link_seed ^ 0xDEAD,
+        )
+        .expect("no second crash");
+        let mut final_csv = Vec::new();
+        rec.store().export_csv(&mut final_csv).expect("export");
+        let ok = final_csv == reference_csv && rec.store().stats().missing_batches == 0;
+        converged += ok as usize;
+
+        mix(budget);
+        mix(report.records);
+        mix(report.torn_tails);
+        mix(exact as u64);
+        mix(ok as u64);
+    }
+
+    SweepResult {
+        loss_pct,
+        ref_ticks,
+        retransmits,
+        crash_points: crash_plan.len(),
+        exact_prefix,
+        torn_tails,
+        converged,
+        total_bytes,
+        digest,
+    }
+}
+
+fn main() {
+    let scale = uburst_bench::Scale::from_env();
+    let points = match scale {
+        uburst_bench::Scale::Quick => 48,
+        uburst_bench::Scale::Full => 200,
+    };
+    println!(
+        "extension: crash-safe persistence — recovery coverage vs link faults ({} scale)",
+        scale.label()
+    );
+    println!(
+        "seed {SEED:#x}, {SOURCES} sources x {BATCHES_PER_SOURCE} batches, {SEGMENT_BYTES} B segments, fsync=always"
+    );
+    println!("{points} seeded crash points per link intensity (record ends ± 1 + mid-record fill)");
+    println!();
+
+    // Each intensity is an independent seeded sweep: fan across the pool.
+    // The trailing pair replays the hostile point for the determinism check.
+    let sweep_loss = [0.0, 2.0, 10.0, 25.0];
+    let mut jobs: Vec<f64> = sweep_loss.to_vec();
+    jobs.extend([25.0, 25.0]);
+    let mut results = uburst_bench::run_jobs(jobs, |loss| sweep_at(loss, points));
+
+    let b = results.pop().expect("replay b");
+    let a = results.pop().expect("replay a");
+    let deterministic = a.digest == b.digest
+        && a.exact_prefix == b.exact_prefix
+        && a.torn_tails == b.torn_tails
+        && a.ref_ticks == b.ref_ticks;
+
+    let mut t = Table::new(&[
+        "loss%",
+        "ticks",
+        "rexmit",
+        "wal_B",
+        "crashes",
+        "exact",
+        "torn",
+        "converged",
+    ]);
+    let mut all_exact = true;
+    let mut all_converged = true;
+    let mut any_torn = false;
+    for r in &results {
+        all_exact &= r.exact_prefix == r.crash_points;
+        all_converged &= r.converged == r.crash_points;
+        any_torn |= r.torn_tails > 0;
+        t.row(&[
+            format!("{:.1}", r.loss_pct),
+            format!("{}", r.ref_ticks),
+            format!("{}", r.retransmits),
+            format!("{}", r.total_bytes),
+            format!("{}", r.crash_points),
+            format!("{}/{}", r.exact_prefix, r.crash_points),
+            format!("{}", r.torn_tails),
+            format!("{}/{}", r.converged, r.crash_points),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!("reading: fsync-always plus a go-back-N receiver makes recovery exact at");
+    println!("every crash offset — the WAL holds precisely the acked prefix per source,");
+    println!("torn tails are truncated, and retransmit refills every gap afterwards.");
+    println!("Link hostility costs only time (ticks, retransmits), never durability.");
+    println!("\nchecks:");
+    println!(
+        "  [{}] every crash point recovers to exactly the acked prefix",
+        if all_exact { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] every resumed session converges to the crash-free reference",
+        if all_converged { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] the sweep produced mid-record tears (torn-tail coverage)",
+        if any_torn { "ok" } else { "MISS" }
+    );
+    println!(
+        "  [{}] replay from seed {SEED:#x} is bit-identical",
+        if deterministic { "ok" } else { "MISS" }
+    );
+}

@@ -44,6 +44,14 @@ pub struct CollectorHealth {
     pub ingested: u64,
     /// Batches quarantined by the store as malformed.
     pub quarantined: u64,
+    /// Batches shed by upstream sinks before reaching the store
+    /// (reported via [`crate::ChannelSink::with_loss_report`]).
+    pub shed: u64,
+    /// Redelivered batches dropped by sequence-number dedup.
+    pub duplicates: u64,
+    /// Batches known assigned by shippers but never received (the gap
+    /// ledger's missing total).
+    pub missing: u64,
 }
 
 /// Final ingest accounting returned by [`Collector::shutdown`].
@@ -55,6 +63,12 @@ pub struct CollectorReport {
     pub quarantined: u64,
     /// Worker panics absorbed by supervisors.
     pub restarts: u64,
+    /// Batches shed upstream of the store (sink evictions).
+    pub shed: u64,
+    /// Redelivered batches deduplicated by sequence number.
+    pub duplicates: u64,
+    /// Batches known missing per the gap ledger.
+    pub missing: u64,
 }
 
 #[derive(Default)]
@@ -134,11 +148,15 @@ impl Collector {
     /// A point-in-time snapshot of the service's condition, readable while
     /// ingest is in flight.
     pub fn health(&self) -> CollectorHealth {
+        let stats = self.store.stats();
         CollectorHealth {
             workers_alive: self.health.alive.load(Ordering::SeqCst),
             restarts: self.health.restarts.load(Ordering::Relaxed),
             ingested: self.health.ingested.load(Ordering::Relaxed),
             quarantined: self.health.quarantined.load(Ordering::Relaxed),
+            shed: stats.shed_batches,
+            duplicates: stats.duplicate_batches,
+            missing: stats.missing_batches,
         }
     }
 
@@ -152,10 +170,14 @@ impl Collector {
             w.join()
                 .map_err(|_| CollectorError::WorkerLost { worker: i })?;
         }
+        let stats = self.store.stats();
         let report = CollectorReport {
             ingested: self.health.ingested.load(Ordering::Relaxed),
             quarantined: self.health.quarantined.load(Ordering::Relaxed),
             restarts: self.health.restarts.load(Ordering::Relaxed),
+            shed: stats.shed_batches,
+            duplicates: stats.duplicate_batches,
+            missing: stats.missing_batches,
         };
         Ok((self.store, report))
     }
@@ -337,6 +359,20 @@ mod tests {
         let (_store, report) = collector.shutdown().unwrap();
         assert_eq!(report.restarts, MAX_RESTARTS_PER_WORKER + 1);
         assert_eq!(report.ingested, 0);
+    }
+
+    #[test]
+    fn upstream_shed_loss_is_visible_in_health_and_report() {
+        let (collector, tx) = Collector::start(1, 8).unwrap();
+        collector.store().note_shed(SourceId(4), 3);
+        tx.send(batch(4, 0, 2)).unwrap();
+        drop(tx);
+        assert_eq!(collector.health().shed, 3);
+        let (_store, report) = collector.shutdown().unwrap();
+        assert_eq!(report.ingested, 1);
+        assert_eq!(report.shed, 3, "sink loss reported next to quarantine");
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.missing, 0);
     }
 
     #[test]

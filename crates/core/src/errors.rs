@@ -80,6 +80,61 @@ impl fmt::Display for CollectorError {
 
 impl std::error::Error for CollectorError {}
 
+/// Errors raised by the write-ahead log ([`crate::wal`]). Not `Clone`/
+/// `PartialEq` like its siblings: it wraps [`std::io::Error`], which is
+/// neither — callers match on the variant (or on
+/// [`crate::failpoint::is_injected_crash`] for the `Io` payload) instead.
+#[derive(Debug)]
+pub enum WalError {
+    /// The storage backend failed (includes injected crashes from the
+    /// fault harness; probe with [`crate::failpoint::is_injected_crash`]).
+    Io(std::io::Error),
+    /// A segment was structurally unusable beyond torn-tail repair.
+    BadSegment {
+        /// Index of the offending segment.
+        index: u64,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl WalError {
+    /// Whether this error is a deterministic crash injected by the fault
+    /// harness (as opposed to a real storage failure).
+    pub fn is_injected_crash(&self) -> bool {
+        match self {
+            WalError::Io(e) => crate::failpoint::is_injected_crash(e),
+            WalError::BadSegment { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal storage error: {e}"),
+            WalError::BadSegment { index, reason } => {
+                write!(f, "wal segment {index} unusable: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::BadSegment { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +156,14 @@ mod tests {
         assert!(CollectorError::WorkerLost { worker: 3 }
             .to_string()
             .contains('3'));
+        let w = WalError::BadSegment {
+            index: 4,
+            reason: "magic mismatch".into(),
+        };
+        assert!(w.to_string().contains("segment 4"));
+        assert!(!w.is_injected_crash());
+        let crash = WalError::Io(crate::failpoint::crash_error());
+        assert!(crash.is_injected_crash());
+        assert!(std::error::Error::source(&crash).is_some());
     }
 }

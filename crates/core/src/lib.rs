@@ -27,7 +27,15 @@
 //!   sample store, which quarantines malformed batches and exports CSV;
 //! * [`series`] — timestamped cumulative-counter series, wrap-aware
 //!   decoding, and the delta-to-rate/utilization conversions the analyses
-//!   build on.
+//!   build on;
+//! * [`ship`] / [`link`] — sequence-numbered batch shipping with
+//!   ack/retransmit over a seeded lossy-link model, and the per-source
+//!   gap ledger that distinguishes "no burst" from "no data";
+//! * [`wal`] / [`segment`] — the crash-safe persistence tier: append-only
+//!   CRC-framed segment files, fsync-policy-gated acks, and torn-tail
+//!   recovery back into the store;
+//! * [`failpoint`] — deterministic byte-granular crash injection
+//!   ([`TornStorage`], [`CrashPlan`]) driving the durability test suite.
 //!
 //! ## End-to-end shape
 //!
@@ -48,24 +56,36 @@ pub mod channel;
 pub mod collector;
 pub mod degrade;
 pub mod errors;
+pub mod failpoint;
+pub mod link;
 pub mod output;
 pub mod poller;
+pub mod segment;
 pub mod series;
+pub mod ship;
 pub mod spec;
 pub mod store;
 pub mod tuning;
+pub mod wal;
 
 pub use batch::{Batch, BatchPolicy, Batcher, SourceId};
 pub use collector::{Collector, CollectorHealth, CollectorReport};
 pub use degrade::{DegradationController, DegradationPolicy, DegradeMode};
-pub use errors::{CollectorError, PollError};
+pub use errors::{CollectorError, PollError, WalError};
+pub use failpoint::{crash_error, is_injected_crash, CrashPlan, TornStorage};
+pub use link::{LinkPlan, LinkStats, LossyLink};
 pub use output::{ChannelSink, MemorySink, SampleOutput, ShipPolicy};
 pub use poller::{Poller, PollerStats, RetryPolicy};
 pub use series::{RateSample, Series, UtilSample, WrapDecoder};
+pub use ship::{AckMsg, GapLedger, SeqBatch, Shipper, ShipperConfig, ShipperStats};
 pub use spec::{CampaignConfig, CoreMode};
 pub use store::{
-    counter_label, parse_counter_label, QuarantineReason, SampleStore, SeriesKey, StoreStats,
+    counter_label, parse_counter_label, QuarantineReason, SampleStore, SeqIngest, SeriesKey,
+    StoreStats,
 };
 pub use tuning::{
     probe_loss_profile, probe_miss_fraction, tune_min_interval, TuningConfig, TuningResult,
+};
+pub use wal::{
+    DirStorage, DurableStore, FsyncPolicy, MemStorage, RecoveryReport, Wal, WalConfig, WalStorage,
 };

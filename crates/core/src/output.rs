@@ -18,6 +18,7 @@ use uburst_sim::time::Nanos;
 use crate::batch::{Batch, BatchPolicy, Batcher, SourceId};
 use crate::channel::Sender;
 use crate::series::Series;
+use crate::store::SampleStore;
 
 /// Consumes one poll record at a time. Values are aligned with the
 /// campaign's counter list.
@@ -117,6 +118,9 @@ pub struct ChannelSink {
     policy: ShipPolicy,
     shipped: u64,
     dropped: u64,
+    /// Destination for shed accounting ([`SampleStore::note_shed`]), so
+    /// upstream loss lands in `StoreStats` next to quarantine counts.
+    loss_report: Option<std::sync::Arc<SampleStore>>,
 }
 
 impl ChannelSink {
@@ -135,12 +139,22 @@ impl ChannelSink {
             policy: ShipPolicy::Block,
             shipped: 0,
             dropped: 0,
+            loss_report: None,
         }
     }
 
     /// Sets the full-queue policy.
     pub fn with_ship_policy(mut self, policy: ShipPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Reports every shed batch to `store` (per the *shed batch's* source,
+    /// which for `DropOldest` evictions may differ from this sink's), so
+    /// loss shows up in [`crate::StoreStats::shed_batches`] and the
+    /// collector health summary instead of only in the sink.
+    pub fn with_loss_report(mut self, store: std::sync::Arc<SampleStore>) -> Self {
+        self.loss_report = Some(store);
         self
     }
 
@@ -155,27 +169,44 @@ impl ChannelSink {
         self.dropped
     }
 
+    fn note_shed(&self, source: SourceId) {
+        if let Some(store) = &self.loss_report {
+            store.note_shed(source, 1);
+        }
+    }
+
     fn ship(&mut self, batches: Vec<Batch>) {
         for b in batches {
+            let own_source = b.source;
             match self.policy {
                 ShipPolicy::Block => match self.tx.send(b) {
                     Ok(()) => self.shipped += 1,
                     // A disconnected collector means shutdown raced the
                     // campaign; tail samples are lost — counted, not fatal.
-                    Err(_) => self.dropped += 1,
+                    Err(_) => {
+                        self.dropped += 1;
+                        self.note_shed(own_source);
+                    }
                 },
                 ShipPolicy::DropOldest => match self.tx.force_send(b) {
                     Ok(None) => self.shipped += 1,
-                    Ok(Some(_evicted)) => {
+                    Ok(Some(evicted)) => {
                         // Ours got in; a previously shipped batch fell out.
                         self.shipped += 1;
                         self.dropped += 1;
+                        self.note_shed(evicted.source);
                     }
-                    Err(_) => self.dropped += 1,
+                    Err(_) => {
+                        self.dropped += 1;
+                        self.note_shed(own_source);
+                    }
                 },
                 ShipPolicy::DropNewest => match self.tx.try_send(b) {
                     Ok(()) => self.shipped += 1,
-                    Err(_) => self.dropped += 1,
+                    Err(_) => {
+                        self.dropped += 1;
+                        self.note_shed(own_source);
+                    }
                 },
             }
         }
@@ -314,6 +345,21 @@ mod tests {
         drop(sink);
         let got: Vec<u64> = rx.iter().map(|b| b.samples.vs[0]).collect();
         assert_eq!(got, vec![1, 2], "what was queued first survives");
+    }
+
+    #[test]
+    fn shed_batches_land_in_store_stats_per_source() {
+        let store = std::sync::Arc::new(SampleStore::new());
+        let (tx, rx) = channel::bounded(2);
+        let mut sink = one_sample_sink(ShipPolicy::DropOldest, tx).with_loss_report(store.clone());
+        for i in 1..=5u64 {
+            sink.record(Nanos(i), &[i]);
+        }
+        assert_eq!(sink.dropped_batches(), 3);
+        assert_eq!(store.stats().shed_batches, 3, "sink loss visible in store");
+        assert_eq!(store.shed_by_source(), vec![(SourceId(0), 3)]);
+        drop(sink);
+        drop(rx);
     }
 
     #[test]

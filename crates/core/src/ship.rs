@@ -1,0 +1,535 @@
+//! Sequence-numbered batch shipping: at-least-once delivery with
+//! receiver-side dedup, plus the per-source **gap ledger** that turns
+//! transport loss into accounted, analysable coverage holes.
+//!
+//! The lossy-link model ([`crate::link`]) can drop, duplicate, reorder, and
+//! delay batches between a switch and the collector tier. Raw [`Batch`]es
+//! carry no identity, so a dropped batch is silent bias and a redelivered
+//! one is a quarantine. This module gives every batch a per-source sequence
+//! number ([`SeqBatch`]) and wraps the sending side in a [`Shipper`]:
+//! a bounded in-flight window, cumulative acks, and go-back-N retransmit
+//! on an ack timeout. The receiving side dedups by sequence number and
+//! records what it has *not* seen in a [`GapLedger`], so analysis code can
+//! distinguish "no burst" (data present, nothing hot) from "no data"
+//! (an interval the pipeline lost).
+//!
+//! Sequence numbers start at 0 per source and every [`SeqBatch`] piggybacks
+//! the source's transmit **watermark** (how many sequence numbers the
+//! source has assigned so far), so a receiver that sees batch 7 with
+//! watermark 9 knows batches 8 and 9 exist even if they never arrive.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use crate::batch::{Batch, SourceId};
+
+/// A [`Batch`] wrapped with its transport identity.
+#[derive(Debug, Clone)]
+pub struct SeqBatch {
+    /// Per-source sequence number, assigned at first transmission,
+    /// starting at 0 and dense (no holes at the sender).
+    pub seq: u64,
+    /// Number of sequence numbers the source had assigned when this
+    /// transmission was cut (always `> seq`). Receivers learn about
+    /// in-flight batches they have not seen from this watermark.
+    pub watermark: u64,
+    /// The samples.
+    pub batch: Batch,
+}
+
+/// A cumulative acknowledgement from the collector tier: every sequence
+/// number below `cum` has been durably persisted and stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckMsg {
+    /// The source being acknowledged.
+    pub source: SourceId,
+    /// Count of contiguous sequence numbers (from 0) durably received.
+    pub cum: u64,
+}
+
+/// Tuning for a [`Shipper`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShipperConfig {
+    /// Maximum unacknowledged batches in flight before new offers queue.
+    pub window: usize,
+    /// Ticks without ack progress before the window is retransmitted.
+    pub rto_ticks: u32,
+}
+
+impl Default for ShipperConfig {
+    fn default() -> Self {
+        ShipperConfig {
+            window: 32,
+            rto_ticks: 4,
+        }
+    }
+}
+
+/// Transmission accounting for one shipper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipperStats {
+    /// First transmissions (one per assigned sequence number).
+    pub transmissions: u64,
+    /// Retransmissions triggered by ack timeouts.
+    pub retransmits: u64,
+    /// Highest cumulative ack received.
+    pub acked: u64,
+}
+
+/// The sending half of the sequenced shipping protocol for one source.
+///
+/// Driven by an external clock: callers [`Shipper::offer`] batches as they
+/// are cut, then call [`Shipper::tick`] once per transport round trip to
+/// collect the messages to put on the wire (new transmissions, plus a
+/// go-back-N retransmission of the whole window when no ack progress was
+/// made for [`ShipperConfig::rto_ticks`] ticks). Acks arrive through
+/// [`Shipper::on_ack`]. The shipper survives a collector crash unchanged:
+/// its window still holds every unacknowledged batch, so once the
+/// collector recovers, the normal timeout path re-sends exactly what the
+/// crash lost.
+#[derive(Debug)]
+pub struct Shipper {
+    source: SourceId,
+    cfg: ShipperConfig,
+    next_seq: u64,
+    cum_acked: u64,
+    /// Transmitted but unacknowledged, in sequence order.
+    window: VecDeque<(u64, Batch)>,
+    /// Offered but not yet transmitted (window was full).
+    backlog: VecDeque<Batch>,
+    ticks_since_progress: u32,
+    stats: ShipperStats,
+}
+
+impl Shipper {
+    /// A shipper for `source`.
+    pub fn new(source: SourceId, cfg: ShipperConfig) -> Self {
+        assert!(cfg.window > 0, "zero shipping window");
+        assert!(cfg.rto_ticks > 0, "zero retransmit timeout");
+        Shipper {
+            source,
+            cfg,
+            next_seq: 0,
+            cum_acked: 0,
+            window: VecDeque::new(),
+            backlog: VecDeque::new(),
+            ticks_since_progress: 0,
+            stats: ShipperStats::default(),
+        }
+    }
+
+    /// The source this shipper speaks for.
+    pub fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// Sequence numbers assigned so far (the transmit watermark).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Highest cumulative ack received.
+    pub fn cum_acked(&self) -> u64 {
+        self.cum_acked
+    }
+
+    /// Transmission accounting so far.
+    pub fn stats(&self) -> ShipperStats {
+        self.stats
+    }
+
+    /// Queues one batch for transmission.
+    pub fn offer(&mut self, batch: Batch) {
+        self.backlog.push_back(batch);
+    }
+
+    /// True when every offered batch has been acknowledged.
+    pub fn done(&self) -> bool {
+        self.window.is_empty() && self.backlog.is_empty()
+    }
+
+    /// Batches currently in flight (transmitted, unacknowledged).
+    pub fn in_flight(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Processes one cumulative ack.
+    pub fn on_ack(&mut self, ack: AckMsg) {
+        debug_assert_eq!(ack.source, self.source, "ack routed to wrong shipper");
+        if ack.cum > self.cum_acked {
+            self.cum_acked = ack.cum;
+            self.stats.acked = ack.cum;
+            self.ticks_since_progress = 0;
+            while self.window.front().is_some_and(|&(seq, _)| seq < ack.cum) {
+                self.window.pop_front();
+            }
+        }
+    }
+
+    /// Advances the shipper's clock by one tick and returns the messages to
+    /// transmit: backlog admitted into the window (first transmissions) and,
+    /// on an ack timeout, a go-back-N retransmission of the whole window.
+    pub fn tick(&mut self) -> Vec<SeqBatch> {
+        let mut out = Vec::new();
+        // Admit backlog into the window.
+        while self.window.len() < self.cfg.window {
+            let Some(batch) = self.backlog.pop_front() else {
+                break;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.window.push_back((seq, batch.clone()));
+            self.stats.transmissions += 1;
+            out.push(SeqBatch {
+                seq,
+                watermark: self.next_seq,
+                batch,
+            });
+        }
+        // Retransmit on timeout.
+        if !self.window.is_empty() {
+            self.ticks_since_progress += 1;
+            if self.ticks_since_progress >= self.cfg.rto_ticks {
+                self.ticks_since_progress = 0;
+                for (seq, batch) in &self.window {
+                    // First transmissions this tick are not re-sent again.
+                    if out.iter().any(|sb| sb.seq == *seq) {
+                        continue;
+                    }
+                    self.stats.retransmits += 1;
+                    out.push(SeqBatch {
+                        seq: *seq,
+                        watermark: self.next_seq,
+                        batch: batch.clone(),
+                    });
+                }
+            }
+        }
+        // Every message leaving this tick carries the tick's final
+        // watermark: the receiver learns the full assigned range even when
+        // earlier copies are dropped.
+        for sb in &mut out {
+            sb.watermark = self.next_seq;
+        }
+        out
+    }
+}
+
+/// Per-source record of which sequence numbers have been received, which
+/// are known missing, and how many redeliveries were deduplicated.
+#[derive(Debug, Clone, Default)]
+struct SourceLedger {
+    /// Sorted, disjoint, **inclusive** ranges of received sequence numbers.
+    received: Vec<(u64, u64)>,
+    /// Highest transmit watermark seen (sequence numbers known assigned).
+    watermark: u64,
+    /// Redeliveries dropped by sequence-number dedup.
+    duplicates: u64,
+}
+
+impl SourceLedger {
+    /// Marks `seq` received; false if it already was (a duplicate).
+    fn note(&mut self, seq: u64) -> bool {
+        let i = self.received.partition_point(|&(_, hi)| hi < seq);
+        if let Some(&(lo, hi)) = self.received.get(i) {
+            if lo <= seq && seq <= hi {
+                self.duplicates += 1;
+                return false;
+            }
+        }
+        // Insert, merging with neighbours where adjacent.
+        let glue_left = i > 0 && self.received[i - 1].1 + 1 == seq;
+        let glue_right = self.received.get(i).is_some_and(|&(lo, _)| seq + 1 == lo);
+        match (glue_left, glue_right) {
+            (true, true) => {
+                self.received[i - 1].1 = self.received[i].1;
+                self.received.remove(i);
+            }
+            (true, false) => self.received[i - 1].1 = seq,
+            (false, true) => self.received[i].0 = seq,
+            (false, false) => self.received.insert(i, (seq, seq)),
+        }
+        true
+    }
+
+    /// Contiguous received prefix length (the cumulative ack value).
+    fn contiguous(&self) -> u64 {
+        match self.received.first() {
+            Some(&(0, hi)) => hi + 1,
+            _ => 0,
+        }
+    }
+
+    /// Known-missing sequence ranges (inclusive) below the watermark.
+    fn gaps(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        for &(lo, hi) in &self.received {
+            if lo > next {
+                out.push((next, lo - 1));
+            }
+            next = hi + 1;
+        }
+        if next < self.watermark {
+            out.push((next, self.watermark - 1));
+        }
+        out
+    }
+}
+
+/// Receiver-side coverage accounting for every source shipping into a
+/// store: which sequence numbers arrived, which are known missing (below
+/// the source's announced transmit watermark), and how many redeliveries
+/// were deduplicated.
+#[derive(Debug, Clone, Default)]
+pub struct GapLedger {
+    sources: BTreeMap<SourceId, SourceLedger>,
+}
+
+impl GapLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        GapLedger::default()
+    }
+
+    /// Records one received sequence number. Returns `false` (and counts a
+    /// duplicate) when `seq` was already received — the dedup decision.
+    pub fn note_received(&mut self, source: SourceId, seq: u64) -> bool {
+        self.sources.entry(source).or_default().note(seq)
+    }
+
+    /// Whether `seq` has already been received from `source`, without
+    /// counting anything — the read-only probe a receiver uses to decide
+    /// "re-ack, don't re-persist" before touching durable storage.
+    pub fn is_received(&self, source: SourceId, seq: u64) -> bool {
+        self.sources.get(&source).is_some_and(|s| {
+            let i = s.received.partition_point(|&(_, hi)| hi < seq);
+            s.received
+                .get(i)
+                .is_some_and(|&(lo, hi)| lo <= seq && seq <= hi)
+        })
+    }
+
+    /// Raises the source's known transmit watermark (never lowers it).
+    pub fn note_watermark(&mut self, source: SourceId, watermark: u64) {
+        let s = self.sources.entry(source).or_default();
+        s.watermark = s.watermark.max(watermark);
+    }
+
+    /// Contiguous received prefix for `source` — the cumulative ack value.
+    pub fn contiguous(&self, source: SourceId) -> u64 {
+        self.sources
+            .get(&source)
+            .map_or(0, SourceLedger::contiguous)
+    }
+
+    /// Known-missing sequence ranges (inclusive) for `source`: assigned
+    /// below the watermark but never received. Analysis reads this to
+    /// distinguish "no burst" from "no data".
+    pub fn gaps(&self, source: SourceId) -> Vec<(u64, u64)> {
+        self.sources
+            .get(&source)
+            .map_or_else(Vec::new, |s| s.gaps())
+    }
+
+    /// Total known-missing batches across all sources.
+    pub fn missing_total(&self) -> u64 {
+        self.sources
+            .values()
+            .map(|s| s.gaps().iter().map(|&(lo, hi)| hi - lo + 1).sum::<u64>())
+            .sum()
+    }
+
+    /// Total deduplicated redeliveries across all sources.
+    pub fn duplicates_total(&self) -> u64 {
+        self.sources.values().map(|s| s.duplicates).sum()
+    }
+
+    /// Batches received for `source`.
+    pub fn received_count(&self, source: SourceId) -> u64 {
+        self.sources
+            .get(&source)
+            .map_or(0, |s| s.received.iter().map(|&(lo, hi)| hi - lo + 1).sum())
+    }
+
+    /// Highest transmit watermark seen for `source`.
+    pub fn watermark(&self, source: SourceId) -> u64 {
+        self.sources.get(&source).map_or(0, |s| s.watermark)
+    }
+
+    /// Sources the ledger has seen, sorted.
+    pub fn sources(&self) -> Vec<SourceId> {
+        self.sources.keys().copied().collect()
+    }
+}
+
+impl fmt::Display for GapLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (source, s) in &self.sources {
+            writeln!(
+                f,
+                "source {}: {} received, watermark {}, {} dup, gaps {:?}",
+                source.0,
+                s.received.iter().map(|&(lo, hi)| hi - lo + 1).sum::<u64>(),
+                s.watermark,
+                s.duplicates,
+                s.gaps()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use uburst_asic::CounterId;
+    use uburst_sim::node::PortId;
+    use uburst_sim::time::Nanos;
+
+    fn batch(t: u64) -> Batch {
+        let mut s = Series::new();
+        s.push(Nanos(t), t);
+        Batch {
+            source: SourceId(0),
+            campaign: "t".into(),
+            counter: CounterId::TxBytes(PortId(0)),
+            samples: s,
+        }
+    }
+
+    #[test]
+    fn shipper_assigns_dense_seqs_and_watermarks() {
+        let mut sh = Shipper::new(SourceId(0), ShipperConfig::default());
+        for t in 1..=3 {
+            sh.offer(batch(t));
+        }
+        let out = sh.tick();
+        assert_eq!(out.len(), 3);
+        for (i, sb) in out.iter().enumerate() {
+            assert_eq!(sb.seq, i as u64);
+            assert_eq!(sb.watermark, 3);
+        }
+        assert_eq!(sh.in_flight(), 3);
+        assert!(!sh.done());
+        sh.on_ack(AckMsg {
+            source: SourceId(0),
+            cum: 3,
+        });
+        assert!(sh.done());
+        assert_eq!(sh.stats().transmissions, 3);
+        assert_eq!(sh.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn shipper_window_limits_inflight() {
+        let mut sh = Shipper::new(
+            SourceId(0),
+            ShipperConfig {
+                window: 2,
+                rto_ticks: 100,
+            },
+        );
+        for t in 1..=5 {
+            sh.offer(batch(t));
+        }
+        assert_eq!(sh.tick().len(), 2);
+        assert_eq!(sh.tick().len(), 0, "window full, nothing new");
+        sh.on_ack(AckMsg {
+            source: SourceId(0),
+            cum: 1,
+        });
+        assert_eq!(sh.tick().len(), 1, "one slot freed");
+    }
+
+    #[test]
+    fn shipper_retransmits_window_after_rto() {
+        let mut sh = Shipper::new(
+            SourceId(0),
+            ShipperConfig {
+                window: 8,
+                rto_ticks: 3,
+            },
+        );
+        sh.offer(batch(1));
+        sh.offer(batch(2));
+        assert_eq!(sh.tick().len(), 2); // first transmissions
+        assert_eq!(sh.tick().len(), 0);
+        let r = sh.tick(); // third tick without progress: RTO fires
+        assert_eq!(r.len(), 2, "whole window retransmitted");
+        assert_eq!(r[0].seq, 0);
+        assert_eq!(sh.stats().retransmits, 2);
+        // Ack progress resets the timer.
+        sh.on_ack(AckMsg {
+            source: SourceId(0),
+            cum: 1,
+        });
+        assert_eq!(sh.tick().len(), 0);
+        assert_eq!(sh.tick().len(), 0);
+        assert_eq!(sh.tick().len(), 1, "remaining batch retransmitted");
+    }
+
+    #[test]
+    fn stale_and_duplicate_acks_are_ignored() {
+        let mut sh = Shipper::new(SourceId(3), ShipperConfig::default());
+        for t in 1..=4 {
+            sh.offer(batch(t));
+        }
+        sh.tick();
+        sh.on_ack(AckMsg {
+            source: SourceId(3),
+            cum: 3,
+        });
+        sh.on_ack(AckMsg {
+            source: SourceId(3),
+            cum: 1,
+        }); // stale
+        assert_eq!(sh.cum_acked(), 3);
+        assert_eq!(sh.in_flight(), 1);
+    }
+
+    #[test]
+    fn ledger_tracks_gaps_and_dedups() {
+        let mut l = GapLedger::new();
+        let s = SourceId(1);
+        assert!(l.note_received(s, 0));
+        assert!(l.note_received(s, 1));
+        assert!(l.note_received(s, 4));
+        assert!(!l.note_received(s, 1), "duplicate detected");
+        l.note_watermark(s, 7);
+        assert_eq!(l.contiguous(s), 2);
+        assert_eq!(l.gaps(s), vec![(2, 3), (5, 6)]);
+        assert_eq!(l.missing_total(), 4);
+        assert_eq!(l.duplicates_total(), 1);
+        assert_eq!(l.received_count(s), 3);
+        // Filling a hole merges ranges.
+        assert!(l.note_received(s, 2));
+        assert!(l.note_received(s, 3));
+        assert_eq!(l.contiguous(s), 5);
+        assert_eq!(l.gaps(s), vec![(5, 6)]);
+    }
+
+    #[test]
+    fn ledger_watermark_never_lowers() {
+        let mut l = GapLedger::new();
+        let s = SourceId(0);
+        l.note_watermark(s, 9);
+        l.note_watermark(s, 4);
+        assert_eq!(l.watermark(s), 9);
+        assert_eq!(l.gaps(s), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn ledger_out_of_order_arrival_converges() {
+        let mut l = GapLedger::new();
+        let s = SourceId(2);
+        for seq in [5u64, 3, 1, 0, 2, 4] {
+            assert!(l.note_received(s, seq));
+        }
+        l.note_watermark(s, 6);
+        assert_eq!(l.contiguous(s), 6);
+        assert!(l.gaps(s).is_empty());
+        assert_eq!(l.missing_total(), 0);
+    }
+}

@@ -6,7 +6,8 @@
 //!
 //! * [`telemetry`] (`uburst-core`) — the paper's contribution: the
 //!   microsecond-scale counter collection framework (pollers, interval
-//!   auto-tuning, batching, the threaded collector service).
+//!   auto-tuning, batching, the threaded collector service, and the
+//!   crash-safe WAL persistence tier with gap-accounted shipping).
 //! * [`asic`] — the switch ASIC counter model the framework polls
 //!   (counter banks, storage classes, read latencies).
 //! * [`sim`] — the packet-level data center simulator underneath
@@ -68,10 +69,12 @@ pub mod prelude {
     pub use uburst_asic::{AccessModel, AsicCounters, CounterId, StorageClass};
     pub use uburst_asic::{FaultInjector, FaultPlan, FaultStats};
     pub use uburst_core::{
-        tune_min_interval, Batch, BatchPolicy, CampaignConfig, ChannelSink, Collector,
-        CollectorError, CollectorHealth, CollectorReport, CoreMode, DegradationPolicy, DegradeMode,
-        MemorySink, PollError, Poller, PollerStats, QuarantineReason, RetryPolicy, SampleStore,
-        Series, ShipPolicy, SourceId, TuningConfig, UtilSample, WrapDecoder,
+        tune_min_interval, AckMsg, Batch, BatchPolicy, CampaignConfig, ChannelSink, Collector,
+        CollectorError, CollectorHealth, CollectorReport, CoreMode, CrashPlan, DegradationPolicy,
+        DegradeMode, DirStorage, DurableStore, FsyncPolicy, GapLedger, LinkPlan, LossyLink,
+        MemStorage, MemorySink, PollError, Poller, PollerStats, QuarantineReason, RecoveryReport,
+        RetryPolicy, SampleStore, SeqBatch, SeqIngest, Series, ShipPolicy, Shipper, ShipperConfig,
+        SourceId, TornStorage, TuningConfig, UtilSample, WalConfig, WalError, WrapDecoder,
     };
     pub use uburst_sim::prelude::*;
     pub use uburst_workloads::{

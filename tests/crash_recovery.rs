@@ -1,0 +1,354 @@
+//! Crash-recovery property suite for the durable collection tier.
+//!
+//! A reference shipping session (3 sources × 20 batches over a lossy
+//! link, WAL-backed receiver, fsync-always) establishes the exact byte
+//! stream the log writes. A seeded [`CrashPlan`] then sweeps ≥ 200 crash
+//! offsets across that stream — every record boundary ± 1 byte plus a
+//! uniform mid-record fill, so both whole-record and torn-frame tears are
+//! hit, across multiple segment rotations. For every crash point the
+//! suite asserts the tentpole invariants:
+//!
+//! 1. **Acked prefix**: recovery yields exactly the batches whose acks
+//!    were issued before the crash — per source, no more, no fewer.
+//! 2. **CRC-clean**: after torn-tail truncation, a second scan of the log
+//!    finds zero damage (nothing that fails CRC survives).
+//! 3. **Gap accounting**: once the surviving shippers announce their
+//!    transmit watermarks, the ledger's received + missing sets tile the
+//!    assigned range exactly.
+//! 4. **Convergence**: resuming the session (shipper windows intact,
+//!    in-flight link traffic lost with the "cable") re-delivers every
+//!    unacked batch; the final store is byte-identical to the no-crash
+//!    reference export and the ledger shows no gaps.
+//!
+//! Everything is seeded; the suite is deterministic and thread-free
+//! (clean under `UBURST_THREADS=1`).
+
+use std::collections::BTreeMap;
+
+use uburst::prelude::*;
+use uburst::sim::node::PortId;
+use uburst::telemetry::wal::WalStorage;
+
+const SEED: u64 = 0x5EED_C4A5;
+const SOURCES: u32 = 3;
+const BATCHES_PER_SOURCE: u64 = 20;
+const SAMPLES_PER_BATCH: u64 = 4;
+/// Small segments so the sweep crosses many rotation boundaries.
+const SEGMENT_BYTES: usize = 512;
+/// Acceptance bar: at least this many crash points in the sweep.
+const MIN_CRASH_POINTS: usize = 200;
+
+fn wal_config() -> WalConfig {
+    WalConfig {
+        segment_max_bytes: SEGMENT_BYTES,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn link_plan() -> LinkPlan {
+    LinkPlan {
+        drop_p: 0.10,
+        dup_p: 0.08,
+        delay_p: 0.15,
+        max_delay_ticks: 3,
+    }
+}
+
+fn make_batch(source: u32, i: u64) -> Batch {
+    let mut s = Series::new();
+    for k in 0..SAMPLES_PER_BATCH {
+        s.push(Nanos(1 + i * 100 + k), i * 10 + k);
+    }
+    Batch {
+        source: SourceId(source),
+        campaign: "crash".into(),
+        counter: CounterId::TxBytes(PortId(source as u16)),
+        samples: s,
+    }
+}
+
+fn fresh_shippers() -> Vec<Shipper> {
+    (0..SOURCES)
+        .map(|src| {
+            let mut sh = Shipper::new(
+                SourceId(src),
+                ShipperConfig {
+                    window: 8,
+                    rto_ticks: 4,
+                },
+            );
+            for i in 0..BATCHES_PER_SOURCE {
+                sh.offer(make_batch(src, i));
+            }
+            sh
+        })
+        .collect()
+}
+
+/// Drives shippers → lossy link → durable store → lossy ack link →
+/// shippers until every batch is acknowledged, or the store's storage
+/// crashes. Returns the highest ack issued per source and the crash error
+/// (if any). `link_salt` varies the link fault pattern between the
+/// pre-crash and post-crash halves of a run without perturbing the seed
+/// the byte layout depends on.
+fn run_session<S: WalStorage>(
+    ds: &mut DurableStore<S>,
+    shippers: &mut [Shipper],
+    acked: &mut BTreeMap<SourceId, u64>,
+    link_salt: u64,
+) -> Result<(), WalError> {
+    let mut data_link: LossyLink<SeqBatch> = LossyLink::new(link_plan(), SEED ^ link_salt);
+    let mut ack_link: LossyLink<AckMsg> = LossyLink::new(link_plan(), SEED ^ link_salt ^ 1);
+    // Ticks are bounded: every batch retransmits within rto_ticks, and the
+    // link drains within max_delay_ticks; anything longer is a livelock.
+    for tick in 0u64..100_000 {
+        for sh in shippers.iter_mut() {
+            for sb in sh.tick() {
+                data_link.send(sb);
+            }
+        }
+        for sb in data_link.tick() {
+            let (_, ack) = ds.ingest(&sb)?;
+            let best = acked.entry(ack.source).or_insert(0);
+            *best = (*best).max(ack.cum);
+            ack_link.send(ack);
+        }
+        // Periodic explicit sync: under EveryN/Never this is what releases
+        // the withheld acks (a real collector would flush on a timer too).
+        if tick % 7 == 6 {
+            for ack in ds.flush()? {
+                let best = acked.entry(ack.source).or_insert(0);
+                *best = (*best).max(ack.cum);
+                ack_link.send(ack);
+            }
+        }
+        for ack in ack_link.tick() {
+            shippers[ack.source.0 as usize].on_ack(ack);
+        }
+        if shippers.iter().all(Shipper::done)
+            && data_link.in_flight() == 0
+            && ack_link.in_flight() == 0
+        {
+            return Ok(());
+        }
+    }
+    panic!("session livelocked: shippers never drained");
+}
+
+/// The no-crash reference: full session on intact storage. Returns the
+/// canonical CSV export, the WAL's total byte count, and the global byte
+/// offset of every record end (the crash plan's coordinate system).
+fn reference_run() -> (Vec<u8>, u64, Vec<u64>) {
+    let mut ds = DurableStore::create(MemStorage::new(), wal_config()).expect("create");
+    let mut shippers = fresh_shippers();
+    let mut acked = BTreeMap::new();
+    run_session(&mut ds, &mut shippers, &mut acked, 0).expect("no crash on intact storage");
+    for src in 0..SOURCES {
+        assert_eq!(
+            acked.get(&SourceId(src)),
+            Some(&BATCHES_PER_SOURCE),
+            "reference run acked everything"
+        );
+    }
+    let mut csv = Vec::new();
+    ds.store().export_csv(&mut csv).expect("export");
+    let wal = ds.wal();
+    (csv, wal.total_bytes(), wal.record_ends().to_vec())
+}
+
+/// Expected store content for a given acked prefix: the first `n` batches
+/// of each source, ingested in order.
+fn prefix_csv(acked: &BTreeMap<SourceId, u64>) -> Vec<u8> {
+    let store = SampleStore::new();
+    for (&source, &n) in acked {
+        for i in 0..n {
+            store
+                .ingest(&make_batch(source.0, i))
+                .expect("prefix batches are well-formed");
+        }
+    }
+    let mut csv = Vec::new();
+    store.export_csv(&mut csv).expect("export");
+    csv
+}
+
+#[test]
+fn reference_session_is_deterministic() {
+    let (csv_a, bytes_a, ends_a) = reference_run();
+    let (csv_b, bytes_b, ends_b) = reference_run();
+    assert_eq!(csv_a, csv_b, "same seed, same store");
+    assert_eq!(bytes_a, bytes_b, "same seed, same byte stream");
+    assert_eq!(ends_a, ends_b, "same seed, same record layout");
+    assert!(
+        ends_a.len() as u64 >= SOURCES as u64 * BATCHES_PER_SOURCE,
+        "every unique batch hit the log"
+    );
+}
+
+#[test]
+fn every_crash_point_recovers_to_exactly_the_acked_prefix() {
+    let (reference_csv, total_bytes, record_ends) = reference_run();
+    assert!(
+        total_bytes as usize > 4 * SEGMENT_BYTES,
+        "stream too small ({total_bytes} B) to cross segment boundaries"
+    );
+    let plan = CrashPlan::sweep(SEED, total_bytes, &record_ends, MIN_CRASH_POINTS);
+    assert!(
+        plan.len() >= MIN_CRASH_POINTS,
+        "sweep has only {} crash points",
+        plan.len()
+    );
+
+    let mut crashes_seen = 0usize;
+    let mut torn_tails_seen = 0usize;
+    for &budget in plan.offsets() {
+        // ---- Session until the injected crash -------------------------
+        let disk = MemStorage::new();
+        let torn = TornStorage::new(disk.clone(), budget);
+        let mut acked: BTreeMap<SourceId, u64> = BTreeMap::new();
+        let mut shippers = fresh_shippers();
+        let crashed = match DurableStore::create(torn, wal_config()) {
+            Ok(mut ds) => match run_session(&mut ds, &mut shippers, &mut acked, 0) {
+                Ok(()) => false,
+                Err(e) => {
+                    assert!(e.is_injected_crash(), "unexpected real error: {e}");
+                    true
+                }
+            },
+            // Budget below the first segment header: died at birth.
+            Err(e) => {
+                assert!(e.is_injected_crash(), "unexpected real error: {e}");
+                true
+            }
+        };
+        assert!(
+            crashed,
+            "budget {budget} < {total_bytes} total bytes must crash the session"
+        );
+        crashes_seen += 1;
+
+        // ---- Recovery from what the "disk" retained -------------------
+        let (rec, report) = DurableStore::recover(disk.clone(), wal_config())
+            .expect("recovery never fails on torn storage");
+        assert_eq!(report.duplicates, 0, "the log never holds a seq twice");
+        torn_tails_seen += report.torn_tails as usize;
+
+        // (1) Acked prefix, exactly — per source and in content.
+        for src in 0..SOURCES {
+            let source = SourceId(src);
+            let want = acked.get(&source).copied().unwrap_or(0);
+            assert_eq!(
+                rec.store().contiguous(source),
+                want,
+                "crash@{budget}: source {src} recovered ≠ acked"
+            );
+        }
+        let mut recovered_csv = Vec::new();
+        rec.store().export_csv(&mut recovered_csv).expect("export");
+        assert_eq!(
+            recovered_csv,
+            prefix_csv(&acked),
+            "crash@{budget}: recovered store is not the acked prefix"
+        );
+
+        // (2) CRC-clean: a re-scan of the repaired log finds no damage and
+        // the same records.
+        let (rec2, report2) =
+            DurableStore::recover(disk.clone(), wal_config()).expect("second recovery");
+        assert_eq!(
+            report2.torn_tails, 0,
+            "crash@{budget}: damage survived torn-tail truncation"
+        );
+        assert_eq!(report2.corrupt_records, 0);
+        assert_eq!(report2.records, report.records);
+        drop(rec2);
+
+        // (3) Gap accounting: with the shippers' watermarks announced,
+        // received + missing tile the assigned range exactly.
+        for sh in &shippers {
+            rec.note_stream_state(sh.source(), sh.next_seq());
+        }
+        let ledger = rec.store().ledger();
+        for sh in &shippers {
+            let source = sh.source();
+            let received = ledger.received_count(source);
+            let missing: u64 = ledger
+                .gaps(source)
+                .iter()
+                .map(|&(lo, hi)| hi - lo + 1)
+                .sum();
+            assert_eq!(
+                received + missing,
+                ledger.watermark(source),
+                "crash@{budget}: ledger does not tile [0, watermark) for {source:?}"
+            );
+            assert_eq!(
+                ledger.watermark(source),
+                sh.next_seq(),
+                "crash@{budget}: watermark lost in recovery handshake"
+            );
+        }
+
+        // (4) Convergence: resume with the surviving shippers; retransmit
+        // fills every gap; the final store matches the reference exactly.
+        let mut rec = rec;
+        run_session(&mut rec, &mut shippers, &mut acked, 0xDEAD)
+            .expect("no second crash on intact storage");
+        let mut final_csv = Vec::new();
+        rec.store().export_csv(&mut final_csv).expect("export");
+        assert_eq!(
+            final_csv, reference_csv,
+            "crash@{budget}: resumed session did not converge to the reference"
+        );
+        let stats = rec.store().stats();
+        assert_eq!(
+            stats.missing_batches, 0,
+            "crash@{budget}: gaps remained after convergence"
+        );
+        assert_eq!(stats.quarantined_batches, 0, "dedup, not quarantine");
+    }
+    assert_eq!(crashes_seen, plan.len(), "every point crashed the writer");
+    assert!(
+        torn_tails_seen > 0,
+        "the sweep never produced a torn tail — mid-record coverage is broken"
+    );
+}
+
+#[test]
+fn weaker_policies_still_never_lose_acked_records() {
+    // Under EveryN/Never, recovery may hold MORE than was acked (bytes can
+    // reach "media" before their covering sync) but never less, and never
+    // more than was sent. Sweep a thinner plan over each policy.
+    let (_, total_bytes, record_ends) = reference_run();
+    for fsync in [FsyncPolicy::EveryN(5), FsyncPolicy::Never] {
+        let cfg = WalConfig {
+            segment_max_bytes: SEGMENT_BYTES,
+            fsync,
+        };
+        let plan = CrashPlan::sweep(SEED ^ 0xF5, total_bytes, &record_ends, 50);
+        for &budget in plan.offsets().iter().step_by(4) {
+            let disk = MemStorage::new();
+            let torn = TornStorage::new(disk.clone(), budget);
+            let mut acked: BTreeMap<SourceId, u64> = BTreeMap::new();
+            let mut shippers = fresh_shippers();
+            if let Ok(mut ds) = DurableStore::create(torn, cfg) {
+                let _ = run_session(&mut ds, &mut shippers, &mut acked, 0);
+            }
+            let (rec, report) = DurableStore::recover(disk, cfg).expect("recovery");
+            assert_eq!(report.duplicates, 0);
+            for src in 0..SOURCES {
+                let source = SourceId(src);
+                let got = rec.store().contiguous(source);
+                let floor = acked.get(&source).copied().unwrap_or(0);
+                assert!(
+                    got >= floor,
+                    "{fsync:?} crash@{budget}: acked record lost ({got} < {floor})"
+                );
+                assert!(
+                    got <= BATCHES_PER_SOURCE,
+                    "{fsync:?} crash@{budget}: phantom records"
+                );
+            }
+        }
+    }
+}
