@@ -3,6 +3,9 @@
 //! Every CDF figure in the paper (Figs. 3, 4, 6, 7) is an ECDF over one of
 //! the derived per-sample quantities; this module is the shared machinery.
 
+use crate::quantile::nearest_rank;
+use crate::sortf64::sort_f64;
+
 /// An empirical CDF over `f64` observations.
 #[derive(Debug, Clone)]
 pub struct Ecdf {
@@ -12,12 +15,38 @@ pub struct Ecdf {
 impl Ecdf {
     /// Builds from unsorted observations. Non-finite values are rejected.
     ///
+    /// Campaign-sized samples are sorted in O(n) by
+    /// [`sort_f64`](crate::sortf64::sort_f64) (radix sort over the
+    /// order-preserving integer image), bit-identically to the comparison
+    /// sort this replaces.
+    ///
     /// # Panics
-    /// Panics on NaN/infinite input or an empty sample.
+    /// Panics on NaN (caught by the sort's prescan), infinite input
+    /// (caught at the extremes after sorting), or an empty sample.
     pub fn new(mut xs: Vec<f64>) -> Self {
         assert!(!xs.is_empty(), "empty sample");
+        // The sort rejects NaN in its own prescan, and infinities sort to
+        // the ends — so finiteness of the two extremes is finiteness of
+        // the whole sample. O(1) instead of a second streaming pass over
+        // a campaign-sized sample.
+        sort_f64(&mut xs);
+        assert!(
+            xs[0].is_finite() && xs[xs.len() - 1].is_finite(),
+            "non-finite observation"
+        );
+        Ecdf { sorted: xs }
+    }
+
+    /// Builds from observations that are **already sorted ascending** —
+    /// the zero-cost path for callers that sorted once elsewhere (e.g. a
+    /// KS test over the same sample).
+    ///
+    /// # Panics
+    /// Panics on an empty, unsorted, or non-finite sample.
+    pub fn from_sorted(xs: Vec<f64>) -> Self {
+        assert!(!xs.is_empty(), "empty sample");
         assert!(xs.iter().all(|x| x.is_finite()), "non-finite observation");
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]), "unsorted sample");
         Ecdf { sorted: xs }
     }
 
@@ -40,15 +69,11 @@ impl Ecdf {
     }
 
     /// The `q`-quantile for `q` in [0, 1], by the nearest-rank method
-    /// (what the paper's pXX notation means).
+    /// (what the paper's pXX notation means). The rank is computed with
+    /// exact integer arithmetic ([`nearest_rank`]), so `q` values like
+    /// 0.9 or 0.99 never round across an exact rank boundary.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        if q == 0.0 {
-            return self.sorted[0];
-        }
-        let n = self.sorted.len();
-        let rank = (q * n as f64).ceil() as usize;
-        self.sorted[rank.clamp(1, n) - 1]
+        self.sorted[nearest_rank(q, self.sorted.len()) - 1]
     }
 
     /// Smallest observation.
@@ -136,8 +161,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
+    #[should_panic(expected = "NaN observation")]
     fn nan_rejected() {
         Ecdf::new(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn infinity_rejected() {
+        Ecdf::new(vec![1.0, f64::INFINITY, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn negative_infinity_rejected() {
+        Ecdf::new(vec![f64::NEG_INFINITY, 1.0, 2.0]);
     }
 }

@@ -32,15 +32,61 @@ impl KsResult {
 /// Tests whether `samples` are exponentially distributed, with the rate
 /// fitted as `1/mean` (the MLE).
 ///
+/// Copies and sorts the sample (via the O(n) radix path of
+/// [`sort_f64`](crate::sortf64::sort_f64)). Callers that already hold
+/// sorted data should use [`ks_test_exponential_sorted`] or
+/// [`ks_test_exponential_with_ecdf`] instead and skip the sort.
+///
 /// # Panics
 /// Panics on an empty sample or non-positive mean.
 pub fn ks_test_exponential(samples: &[f64]) -> KsResult {
     assert!(!samples.is_empty(), "empty sample");
-    let n = samples.len();
-    let mean = samples.iter().sum::<f64>() / n as f64;
-    assert!(mean > 0.0, "non-positive mean");
+    // The rate is fitted before sorting: summation order is part of the
+    // result's bit pattern, and entry points must agree on it.
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let mut xs = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    crate::sortf64::sort_f64(&mut xs);
+    ks_sorted_with_mean(&xs, mean)
+}
+
+/// [`ks_test_exponential`] for a sample that is **already sorted
+/// ascending** — no copy, no sort. The rate is fitted from the sorted
+/// order, so on the same data this matches
+/// `ks_test_exponential(sorted)` only up to summation order; figure
+/// harnesses that need bit-identity with the unsorted entry point should
+/// use [`ks_test_exponential_with_ecdf`].
+///
+/// # Panics
+/// Panics on an empty or unsorted sample, or a non-positive mean.
+pub fn ks_test_exponential_sorted(sorted: &[f64]) -> KsResult {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "unsorted sample");
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    ks_sorted_with_mean(sorted, mean)
+}
+
+/// KS test and [`Ecdf`](crate::Ecdf) over one sample, sorting **once**.
+///
+/// Bit-identical to the pair
+/// `(ks_test_exponential(&samples), Ecdf::new(samples))` — the rate is
+/// fitted from the sample in its given order before the single shared
+/// sort — but does half the work, for the harnesses (Fig. 4) that plot
+/// the CDF the test was run on.
+///
+/// # Panics
+/// As [`ks_test_exponential`].
+pub fn ks_test_exponential_with_ecdf(samples: Vec<f64>) -> (KsResult, crate::Ecdf) {
+    assert!(!samples.is_empty(), "empty sample");
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let ecdf = crate::Ecdf::new(samples);
+    (ks_sorted_with_mean(ecdf.values(), mean), ecdf)
+}
+
+/// The KS core over order statistics: `D = sup |F_n(x) - F(x)|` against
+/// `Exp(1/mean)`, then the asymptotic p-value.
+fn ks_sorted_with_mean(xs: &[f64], mean: f64) -> KsResult {
+    assert!(mean > 0.0, "non-positive mean");
+    let n = xs.len();
 
     // D = max over order statistics of the one-sided deviations.
     let mut d: f64 = 0.0;
@@ -157,6 +203,40 @@ mod tests {
         let r = ks_test_exponential(&xs);
         assert!((0.0..=1.0).contains(&r.statistic));
         assert_eq!(r.n, 100);
+    }
+
+    #[test]
+    fn sorted_entry_point_skips_the_sort_but_matches() {
+        let mut rng = Rng::new(9);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.exp(2.0)).collect();
+        let full = ks_test_exponential(&xs);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let from_sorted = ks_test_exponential_sorted(&sorted);
+        // Same statistic; p/mean agree up to summation order of the mean.
+        assert_eq!(from_sorted.n, full.n);
+        assert!((from_sorted.statistic - full.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_ecdf_is_bit_identical_to_the_pair() {
+        let mut rng = Rng::new(10);
+        let xs: Vec<f64> = (0..5_000).map(|_| rng.exp(0.7)).collect();
+        let separate_ks = ks_test_exponential(&xs);
+        let separate_ecdf = crate::Ecdf::new(xs.clone());
+        let (ks, ecdf) = ks_test_exponential_with_ecdf(xs);
+        assert_eq!(ks.statistic.to_bits(), separate_ks.statistic.to_bits());
+        assert_eq!(ks.p_value.to_bits(), separate_ks.p_value.to_bits());
+        assert_eq!(ks.n, separate_ks.n);
+        for (a, b) in ecdf.values().iter().zip(separate_ecdf.values()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted sample")]
+    fn sorted_entry_point_rejects_unsorted() {
+        ks_test_exponential_sorted(&[2.0, 1.0]);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | Boxplots vs. hot-port count (Fig. 10) | [`summary`] |
 //! | Coarse SNMP-style windows (Figs. 1, 2) | [`resample`] |
 //! | O(n) nearest-rank quantiles for hot paths | [`quantile`] |
+//! | O(n) radix sort of f64 samples | [`sortf64`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,15 +30,20 @@ pub mod markov;
 pub mod pearson;
 pub mod quantile;
 pub mod resample;
+pub mod sortf64;
 pub mod summary;
 
 pub use burst::{extract_bursts, hot_chain, hot_port_counts, Burst, BurstAnalysis, HOT_THRESHOLD};
 pub use ecdf::Ecdf;
 pub use histogram::{diff_histogram_snapshots, split_by_burst, NormalizedHistogram};
-pub use kstest::{kolmogorov_sf, ks_test_exponential, KsResult};
+pub use kstest::{
+    kolmogorov_sf, ks_test_exponential, ks_test_exponential_sorted, ks_test_exponential_with_ecdf,
+    KsResult,
+};
 pub use mad::{coarsen, mad_per_period, relative_mad};
 pub use markov::{fit_transition_matrix, TransitionMatrix};
-pub use pearson::{correlation_matrix, mean_offdiagonal, pearson};
-pub use quantile::{median, quantile, quantiles};
+pub use pearson::{correlation_matrix, mean_offdiagonal, pearson, CenteredMatrix};
+pub use quantile::{median, nearest_rank, quantile, quantiles};
 pub use resample::{to_windows, Window};
+pub use sortf64::sort_f64;
 pub use summary::{grouped_summaries, Summary};

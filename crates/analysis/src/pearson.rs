@@ -30,58 +30,121 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
 }
 
+/// The shared O(k·n) precomputation behind [`correlation_matrix`]: each
+/// series' centered values and (squared) norm, computed exactly once.
+///
+/// Splitting this out of the matrix driver lets callers distribute the
+/// remaining O(k²·n) dot products however they like — the serial row loop
+/// below, or a worker pool fanning rows (the bench crate's pooled driver)
+/// — while every entry stays bit-identical: [`Self::entry`] performs the
+/// same float operations in the same order as [`pearson`], and depends
+/// only on `(i, j)`, never on which thread or in what order entries are
+/// evaluated.
+pub struct CenteredMatrix {
+    centered: Vec<Vec<f64>>,
+    sq_norms: Vec<f64>,
+    norms: Vec<f64>,
+}
+
+impl CenteredMatrix {
+    /// Centers every series and takes its norm — one pass per series,
+    /// accumulated in the same order [`pearson`] would.
+    ///
+    /// # Panics
+    /// Panics if series lengths differ.
+    pub fn new(series: &[Vec<f64>]) -> Self {
+        let n = series.first().map_or(0, Vec::len);
+        assert!(series.iter().all(|s| s.len() == n), "unaligned series");
+        let mut centered: Vec<Vec<f64>> = Vec::with_capacity(series.len());
+        let mut sq_norms: Vec<f64> = Vec::with_capacity(series.len());
+        for s in series {
+            let m = s.iter().sum::<f64>() / n as f64;
+            let c: Vec<f64> = s.iter().map(|&x| x - m).collect();
+            sq_norms.push(c.iter().map(|&d| d * d).sum::<f64>());
+            centered.push(c);
+        }
+        let norms: Vec<f64> = sq_norms.iter().map(|&s| s.sqrt()).collect();
+        Self {
+            centered,
+            sq_norms,
+            norms,
+        }
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.centered.len()
+    }
+
+    /// Whether there are no series.
+    pub fn is_empty(&self) -> bool {
+        self.centered.is_empty()
+    }
+
+    /// The correlation of series `i` and `j` — bit-identical to
+    /// `pearson(&series[i], &series[j])` (and `1.0` on the diagonal).
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        if self.sq_norms[i] == 0.0 || self.sq_norms[j] == 0.0 {
+            return 0.0;
+        }
+        let sxy: f64 = self.centered[i]
+            .iter()
+            .zip(&self.centered[j])
+            .map(|(&dx, &dy)| dx * dy)
+            .sum();
+        (sxy / (self.norms[i] * self.norms[j])).clamp(-1.0, 1.0)
+    }
+
+    /// The strict upper-triangle tail of row `i`: entries `(i, j)` for
+    /// `j in i+1..k`. The unit of work a pooled driver fans out per row;
+    /// symmetry fills the lower triangle.
+    pub fn row_tail(&self, i: usize) -> Vec<f64> {
+        ((i + 1)..self.len()).map(|j| self.entry(i, j)).collect()
+    }
+
+    /// Assembles the full symmetric matrix from per-row upper-triangle
+    /// tails (as produced by [`Self::row_tail`] for each row in order).
+    ///
+    /// # Panics
+    /// Panics if the tails do not form a strict upper triangle.
+    pub fn assemble(&self, tails: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let k = self.len();
+        assert_eq!(tails.len(), k, "wrong row count");
+        let mut m = vec![vec![0.0; k]; k];
+        for (i, tail) in tails.into_iter().enumerate() {
+            assert_eq!(tail.len(), k - i - 1, "wrong tail length for row {i}");
+            m[i][i] = 1.0;
+            for (j, r) in ((i + 1)..k).zip(tail) {
+                m[i][j] = r;
+                m[j][i] = r;
+            }
+        }
+        m
+    }
+}
+
 /// Full correlation matrix across several aligned series — the server ×
 /// server heatmap of Fig. 8.
 ///
 /// Calling [`pearson`] per pair re-derives each series' mean and centered
 /// values once per *pair* — O(k²·n) redundant passes for a 24×24 heatmap.
-/// This computes each series' centered values and variance exactly once
-/// (O(k·n)), leaving only the irreducible O(k²·n) dot products. The
-/// per-element operations and their order match [`pearson`]'s, so every
-/// entry is bit-identical to the naive pairwise evaluation (asserted by
+/// This centers each series exactly once via [`CenteredMatrix`], leaving
+/// only the irreducible O(k²·n) dot products. Every entry is bit-identical
+/// to the naive pairwise evaluation (asserted by
 /// `matches_naive_pairwise_pearson` below).
 ///
 /// # Panics
 /// Panics if series lengths differ.
 pub fn correlation_matrix(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let k = series.len();
-    if k == 0 {
+    let c = CenteredMatrix::new(series);
+    if c.is_empty() {
         return Vec::new();
     }
-    let n = series[0].len();
-    assert!(series.iter().all(|s| s.len() == n), "unaligned series");
-
-    // One pass per series: mean, centered values, and sum of squares, each
-    // accumulated in the same order pearson() would.
-    let mut centered: Vec<Vec<f64>> = Vec::with_capacity(k);
-    let mut sq_norms: Vec<f64> = Vec::with_capacity(k);
-    for s in series {
-        let m = s.iter().sum::<f64>() / n as f64;
-        let c: Vec<f64> = s.iter().map(|&x| x - m).collect();
-        sq_norms.push(c.iter().map(|&d| d * d).sum::<f64>());
-        centered.push(c);
-    }
-    let norms: Vec<f64> = sq_norms.iter().map(|&s| s.sqrt()).collect();
-
-    let mut m = vec![vec![0.0; k]; k];
-    for i in 0..k {
-        m[i][i] = 1.0;
-        for j in (i + 1)..k {
-            let r = if sq_norms[i] == 0.0 || sq_norms[j] == 0.0 {
-                0.0
-            } else {
-                let sxy: f64 = centered[i]
-                    .iter()
-                    .zip(&centered[j])
-                    .map(|(&dx, &dy)| dx * dy)
-                    .sum();
-                (sxy / (norms[i] * norms[j])).clamp(-1.0, 1.0)
-            };
-            m[i][j] = r;
-            m[j][i] = r;
-        }
-    }
-    m
+    let tails = (0..c.len()).map(|i| c.row_tail(i)).collect();
+    c.assemble(tails)
 }
 
 /// Mean of the off-diagonal entries — a scalar "how correlated is this

@@ -9,6 +9,55 @@
 //! `quantile(&mut xs, q) == Ecdf::new(xs).quantile(q)` (asserted by
 //! `agrees_with_ecdf_quantile` below).
 
+/// The 1-indexed nearest rank for quantile `q` of an `n`-sample:
+/// `ceil(q·n)` clamped to `[1, n]`, with `q = 0` meaning the minimum.
+///
+/// The naive `(q * n as f64).ceil()` double-rounds: the product can land
+/// one ulp past an exact rank boundary (`q` like 0.9 or 0.99 at round
+/// `n`), silently shifting pXX by one order statistic. This computes the
+/// ceiling in integer arithmetic instead:
+///
+/// * `q` that is exactly the f64 nearest a 6-digit decimal `p/10^6` —
+///   every pXX the paper uses — ranks as `ceil(p·n / 10^6)` over `u128`,
+///   honoring the decimal the caller wrote;
+/// * any other `q` ranks via its exact binary value `m·2^-s`, so the
+///   result is still a true ceiling rather than a rounded product.
+///
+/// # Panics
+/// Panics if `n == 0` or `q` is outside [0, 1].
+pub fn nearest_rank(q: f64, n: usize) -> usize {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    assert!(n > 0, "empty sample");
+    if q == 0.0 {
+        return 1;
+    }
+    const DEN: u128 = 1_000_000;
+    let p = (q * DEN as f64).round() as u64;
+    let rank = if p as f64 / DEN as f64 == q {
+        let num = p as u128 * n as u128;
+        num.div_ceil(DEN) as usize
+    } else {
+        // q = m·2^-s exactly (s = 1075 - biased exponent; subnormals use
+        // s = 1074 with no implicit bit).
+        let bits = q.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as u32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (m, s) = if exp == 0 {
+            (frac, 1074)
+        } else {
+            (frac | (1u64 << 52), 1075 - exp)
+        };
+        if s >= 128 {
+            // q < 2^-75, so q·n < 1 for any representable n: rank 1.
+            1
+        } else {
+            let num = m as u128 * n as u128;
+            ((num + (1u128 << s) - 1) >> s) as usize
+        }
+    };
+    rank.clamp(1, n)
+}
+
 /// The `q`-quantile of `xs` by the nearest-rank method, in O(n) via
 /// selection. Reorders `xs` (that is what makes it cheap — no allocation,
 /// no full sort).
@@ -17,16 +66,7 @@
 /// Panics on an empty sample, a NaN observation, or `q` outside [0, 1].
 pub fn quantile(xs: &mut [f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-    let n = xs.len();
-    // Nearest rank, exactly as Ecdf::quantile: rank ceil(q*n) clamped to
-    // [1, n], 1-indexed; q = 0 means the minimum.
-    let rank = if q == 0.0 {
-        1
-    } else {
-        (q * n as f64).ceil() as usize
-    };
-    let idx = rank.clamp(1, n) - 1;
+    let idx = nearest_rank(q, xs.len()) - 1;
     *xs.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).expect("NaN observation"))
         .1
 }
@@ -40,20 +80,10 @@ pub fn quantiles(xs: &mut [f64], qs: &[f64]) -> Vec<f64> {
     // Repeated selection is O(k·n); a sort is O(n log n). For the small
     // k (2–4) the harnesses use, selection wins until k ~ log n.
     if qs.len() as f64 > (xs.len().max(2) as f64).log2() {
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+        assert!(!xs.is_empty(), "empty sample");
+        crate::sortf64::sort_f64(xs);
         let n = xs.len();
-        assert!(n > 0, "empty sample");
-        qs.iter()
-            .map(|&q| {
-                assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-                let rank = if q == 0.0 {
-                    1
-                } else {
-                    (q * n as f64).ceil() as usize
-                };
-                xs[rank.clamp(1, n) - 1]
-            })
-            .collect()
+        qs.iter().map(|&q| xs[nearest_rank(q, n) - 1]).collect()
     } else {
         qs.iter().map(|&q| quantile(xs, q)).collect()
     }
@@ -105,6 +135,74 @@ mod tests {
                     for (&q, &v) in qs.iter().zip(&many) {
                         assert_eq!(v.to_bits(), e.quantile(q).to_bits(), "batched q={q}");
                     }
+                }
+            }
+        }
+    }
+
+    /// The hardening contract: for every paper pXX (written as an exact
+    /// decimal num/den) and every n up to 1000, the rank is the true
+    /// decimal ceiling — no float product to drift one ulp across an
+    /// exact boundary (q·n integral).
+    #[test]
+    fn nearest_rank_sweeps_paper_quantiles() {
+        // (q literal, numerator, denominator) — q is the f64 nearest num/den.
+        let paper_qs: [(f64, u128, u128); 10] = [
+            (0.01, 1, 100),
+            (0.05, 5, 100),
+            (0.25, 25, 100),
+            (0.5, 5, 10),
+            (0.75, 75, 100),
+            (0.9, 9, 10),
+            (0.95, 95, 100),
+            (0.99, 99, 100),
+            (0.999, 999, 1000),
+            (1.0, 1, 1),
+        ];
+        for n in 1usize..=1000 {
+            assert_eq!(nearest_rank(0.0, n), 1, "q=0 n={n}");
+            for &(q, num, den) in &paper_qs {
+                let expected = ((num * n as u128).div_ceil(den) as usize).clamp(1, n);
+                assert_eq!(nearest_rank(q, n), expected, "q={q} n={n}");
+            }
+        }
+    }
+
+    /// Ranks of arbitrary (non-decimal) qs are exact ceilings of the
+    /// binary value: rank-1 < q·n <= rank, verified in integers.
+    #[test]
+    fn nearest_rank_is_exact_for_binary_qs() {
+        for q in [
+            1e-300_f64,
+            2f64.powi(-80),
+            0.1 + 1e-17,
+            1.0 / 3.0,
+            0.7654321,
+        ] {
+            for n in [1usize, 9, 10, 999, 1000, 1_000_000] {
+                let r = nearest_rank(q, n);
+                assert!((1..=n).contains(&r), "q={q} n={n} r={r}");
+                // Compare q·n against r and r-1 without rounding:
+                // q = m·2^-s, so q·n >= k  <=>  m·n >= k·2^s.
+                let bits = q.to_bits();
+                let exp = ((bits >> 52) & 0x7FF) as u32;
+                let frac = bits & ((1u64 << 52) - 1);
+                let (m, s) = if exp == 0 {
+                    (frac, 1074u32)
+                } else {
+                    (frac | (1u64 << 52), 1075 - exp)
+                };
+                let prod = m as u128 * n as u128;
+                if s < 128 {
+                    assert!(prod <= (r as u128) << s, "q·n > rank: q={q} n={n} r={r}");
+                    if r > 1 {
+                        assert!(
+                            prod > ((r - 1) as u128) << s,
+                            "q·n <= rank-1: q={q} n={n} r={r}"
+                        );
+                    }
+                } else {
+                    assert_eq!(r, 1, "tiny q must rank 1: q={q} n={n}");
                 }
             }
         }

@@ -85,26 +85,35 @@ impl CounterId {
     }
 }
 
-#[derive(Debug, Default)]
-struct PortBank {
-    rx_bytes: Cell<u64>,
-    rx_packets: Cell<u64>,
-    tx_bytes: Cell<u64>,
-    tx_packets: Cell<u64>,
-    drops_packets: Cell<u64>,
-    rx_hist: [Cell<u64>; N_SIZE_BINS],
-    tx_hist: [Cell<u64>; N_SIZE_BINS],
-}
+/// Cells per port in the flat bank: five scalar counters plus both
+/// size histograms.
+const PORT_STRIDE: usize = 5 + 2 * N_SIZE_BINS;
+
+// Per-port cell offsets within a port's stride.
+const OFF_RX_BYTES: usize = 0;
+const OFF_RX_PACKETS: usize = 1;
+const OFF_TX_BYTES: usize = 2;
+const OFF_TX_PACKETS: usize = 3;
+const OFF_DROPS: usize = 4;
+const OFF_RX_HIST: usize = 5;
+const OFF_TX_HIST: usize = 5 + N_SIZE_BINS;
 
 /// The full counter state of one ASIC.
 ///
 /// Implements [`CounterSink`] so a [`uburst_sim::switch::Switch`] writes it
-/// directly; the telemetry framework reads it through [`AsicCounters::read`].
+/// directly; the telemetry framework reads it through [`AsicCounters::read`]
+/// — or, on the polling hot path, through a pre-resolved
+/// [`ReadPlan`](crate::readplan::ReadPlan) that maps each counter to its
+/// cell once instead of per poll.
+///
+/// Storage is one flat `Vec<Cell<u64>>` — `PORT_STRIDE` cells per port,
+/// then the buffer level and peak registers — so a resolved counter is a
+/// single index away and a batch of counters reads contiguously-allocated
+/// cells, like the register file it models.
 #[derive(Debug)]
 pub struct AsicCounters {
-    ports: Vec<PortBank>,
-    buffer_level: Cell<u64>,
-    buffer_peak: Cell<u64>,
+    cells: Vec<Cell<u64>>,
+    n_ports: usize,
 }
 
 impl AsicCounters {
@@ -117,40 +126,76 @@ impl AsicCounters {
     /// A zeroed counter bank for a switch with `n_ports` ports.
     pub fn new(n_ports: usize) -> Self {
         AsicCounters {
-            ports: (0..n_ports).map(|_| PortBank::default()).collect(),
-            buffer_level: Cell::new(0),
-            buffer_peak: Cell::new(0),
+            cells: (0..n_ports * PORT_STRIDE + 2)
+                .map(|_| Cell::new(0))
+                .collect(),
+            n_ports,
         }
     }
 
     /// Number of per-port banks.
     pub fn n_ports(&self) -> usize {
-        self.ports.len()
+        self.n_ports
     }
 
-    fn bank(&self, port: PortId) -> &PortBank {
-        &self.ports[port.0 as usize]
+    /// Total cells in the flat bank (used by read plans to verify they are
+    /// applied to a bank of the same geometry they were resolved against).
+    pub(crate) fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn port_base(&self, port: PortId) -> usize {
+        let p = port.0 as usize;
+        assert!(p < self.n_ports, "port {p} out of range");
+        p * PORT_STRIDE
+    }
+
+    pub(crate) fn level_slot(&self) -> usize {
+        self.n_ports * PORT_STRIDE
+    }
+
+    pub(crate) fn peak_slot(&self) -> usize {
+        self.level_slot() + 1
+    }
+
+    /// The flat-cell index of a counter. Validates the port (and histogram
+    /// bin) once — this is what lets a [`ReadPlan`](crate::readplan::ReadPlan)
+    /// skip per-read dispatch.
+    pub(crate) fn slot_of(&self, id: CounterId) -> usize {
+        match id {
+            CounterId::RxBytes(p) => self.port_base(p) + OFF_RX_BYTES,
+            CounterId::RxPackets(p) => self.port_base(p) + OFF_RX_PACKETS,
+            CounterId::TxBytes(p) => self.port_base(p) + OFF_TX_BYTES,
+            CounterId::TxPackets(p) => self.port_base(p) + OFF_TX_PACKETS,
+            CounterId::Drops(p) => self.port_base(p) + OFF_DROPS,
+            CounterId::RxSizeHist(p, b) => {
+                assert!((b as usize) < N_SIZE_BINS, "bin {b} out of range");
+                self.port_base(p) + OFF_RX_HIST + b as usize
+            }
+            CounterId::TxSizeHist(p, b) => {
+                assert!((b as usize) < N_SIZE_BINS, "bin {b} out of range");
+                self.port_base(p) + OFF_TX_HIST + b as usize
+            }
+            CounterId::BufferLevel => self.level_slot(),
+            CounterId::BufferPeak => self.peak_slot(),
+        }
+    }
+
+    /// Reads the cell at a resolved slot, honoring read-and-clear
+    /// semantics for the peak register.
+    pub(crate) fn read_slot(&self, slot: usize) -> u64 {
+        let v = self.cells[slot].get();
+        if slot == self.peak_slot() {
+            self.cells[slot].set(self.cells[self.level_slot()].get());
+        }
+        v
     }
 
     /// Reads one counter. `BufferPeak` is destructive: it returns the peak
     /// since the previous read and re-seeds the register with the current
     /// level, exactly like the hardware register the paper used.
     pub fn read(&self, id: CounterId) -> u64 {
-        match id {
-            CounterId::RxBytes(p) => self.bank(p).rx_bytes.get(),
-            CounterId::RxPackets(p) => self.bank(p).rx_packets.get(),
-            CounterId::TxBytes(p) => self.bank(p).tx_bytes.get(),
-            CounterId::TxPackets(p) => self.bank(p).tx_packets.get(),
-            CounterId::Drops(p) => self.bank(p).drops_packets.get(),
-            CounterId::RxSizeHist(p, b) => self.bank(p).rx_hist[b as usize].get(),
-            CounterId::TxSizeHist(p, b) => self.bank(p).tx_hist[b as usize].get(),
-            CounterId::BufferLevel => self.buffer_level.get(),
-            CounterId::BufferPeak => {
-                let peak = self.buffer_peak.get();
-                self.buffer_peak.set(self.buffer_level.get());
-                peak
-            }
-        }
+        self.read_slot(self.slot_of(id))
     }
 
     /// Reads a group of counters in order (one "poll" worth).
@@ -161,36 +206,49 @@ impl AsicCounters {
     /// Peeks at the peak register without clearing (diagnostics only; the
     /// hardware analogue does not exist).
     pub fn peek_buffer_peak(&self) -> u64 {
-        self.buffer_peak.get()
+        self.cells[self.peak_slot()].get()
     }
+
+    /// One port's cells as a fixed-size window: a single bounds check per
+    /// packet, after which the constant offsets index check-free.
+    #[inline]
+    fn port_cells(&self, port: PortId) -> &[Cell<u64>; PORT_STRIDE] {
+        let base = self.port_base(port);
+        (&self.cells[base..base + PORT_STRIDE])
+            .try_into()
+            .expect("window is PORT_STRIDE long")
+    }
+}
+
+#[inline]
+fn add(c: &Cell<u64>, by: u64) {
+    c.set(c.get() + by);
 }
 
 impl CounterSink for AsicCounters {
     fn count_rx(&self, port: PortId, bytes: u32) {
-        let b = self.bank(port);
-        b.rx_bytes.set(b.rx_bytes.get() + u64::from(bytes));
-        b.rx_packets.set(b.rx_packets.get() + 1);
-        let bin = &b.rx_hist[size_bin(bytes)];
-        bin.set(bin.get() + 1);
+        let b = self.port_cells(port);
+        add(&b[OFF_RX_BYTES], u64::from(bytes));
+        add(&b[OFF_RX_PACKETS], 1);
+        add(&b[OFF_RX_HIST + size_bin(bytes)], 1);
     }
 
     fn count_tx(&self, port: PortId, bytes: u32) {
-        let b = self.bank(port);
-        b.tx_bytes.set(b.tx_bytes.get() + u64::from(bytes));
-        b.tx_packets.set(b.tx_packets.get() + 1);
-        let bin = &b.tx_hist[size_bin(bytes)];
-        bin.set(bin.get() + 1);
+        let b = self.port_cells(port);
+        add(&b[OFF_TX_BYTES], u64::from(bytes));
+        add(&b[OFF_TX_PACKETS], 1);
+        add(&b[OFF_TX_HIST + size_bin(bytes)], 1);
     }
 
     fn count_drop(&self, port: PortId, _bytes: u32) {
-        let b = self.bank(port);
-        b.drops_packets.set(b.drops_packets.get() + 1);
+        add(&self.port_cells(port)[OFF_DROPS], 1);
     }
 
     fn buffer_level(&self, used_bytes: u64) {
-        self.buffer_level.set(used_bytes);
-        if used_bytes > self.buffer_peak.get() {
-            self.buffer_peak.set(used_bytes);
+        self.cells[self.level_slot()].set(used_bytes);
+        let peak = &self.cells[self.peak_slot()];
+        if used_bytes > peak.get() {
+            peak.set(used_bytes);
         }
     }
 }

@@ -4,39 +4,15 @@
 //! Self-contained `Instant`-based harness (no external bench framework);
 //! run with `cargo bench --bench analysis`.
 
-use std::hint::black_box;
-use std::time::Instant;
-
 use uburst_analysis::{
     correlation_matrix, extract_bursts, fit_transition_matrix, hot_chain, ks_test_exponential,
-    mad_per_period, Ecdf, HOT_THRESHOLD,
+    ks_test_exponential_sorted, mad_per_period, sort_f64, Ecdf, HOT_THRESHOLD,
 };
 use uburst_bench::benchjson::BenchRecorder;
-use uburst_bench::scale::Scale;
+use uburst_bench::runner::bench;
 use uburst_core::series::UtilSample;
 use uburst_sim::rng::Rng;
 use uburst_sim::time::Nanos;
-
-fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
-    let iters = Scale::from_env().bench_iters(iters);
-    let mut sink = black_box(f()); // warmup
-    let mut times = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        sink = sink.wrapping_add(black_box(f()));
-        times.push(t0.elapsed().as_secs_f64());
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = times[times.len() / 2];
-    println!(
-        "{name:<26} median {:>9.2} ms   best {:>9.2} ms",
-        median * 1e3,
-        times[0] * 1e3
-    );
-    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
-    black_box(sink);
-    median
-}
 
 fn synth_utils(n: usize, seed: u64) -> Vec<UtilSample> {
     // A bursty synthetic series: sticky two-state chain plus noise.
@@ -77,6 +53,11 @@ fn main() {
 
     let mut rng = Rng::new(2);
     let xs: Vec<f64> = (0..1_000_000).map(|_| rng.exp(100.0)).collect();
+    bench(&mut rec, "sort_f64_1M", 20, || {
+        let mut scratch = xs.clone();
+        sort_f64(&mut scratch);
+        scratch[scratch.len() / 2] as u64
+    });
     bench(&mut rec, "ecdf_build_1M", 20, || {
         Ecdf::new(xs.clone()).quantile(0.9) as u64
     });
@@ -88,6 +69,11 @@ fn main() {
     bench(&mut rec, "ks_test_100k", 20, || {
         (ks_test_exponential(&smaller).p_value * 1e9) as u64
     });
+    let mut presorted = smaller.clone();
+    sort_f64(&mut presorted);
+    bench(&mut rec, "ks_test_sorted_100k", 20, || {
+        (ks_test_exponential_sorted(&presorted).p_value * 1e9) as u64
+    });
 
     let mut rng = Rng::new(3);
     // 24 servers x 100k samples (a 250us campaign over 25s).
@@ -96,6 +82,9 @@ fn main() {
         .collect();
     bench(&mut rec, "pearson_matrix_24x100k", 10, || {
         (correlation_matrix(&series)[0][1] * 1e9) as u64
+    });
+    bench(&mut rec, "pearson_pooled_24x100k", 10, || {
+        (uburst_bench::correlation_matrix_pooled(&series)[0][1] * 1e9) as u64
     });
     let uplinks: Vec<Vec<f64>> = series[..4].to_vec();
     bench(&mut rec, "mad_per_period_4x100k", 10, || {

@@ -6,11 +6,10 @@
 //! run with `cargo bench --bench framework`.
 
 use std::hint::black_box;
-use std::time::Instant;
 
 use uburst_asic::{AccessModel, AsicCounters, CounterId};
 use uburst_bench::benchjson::BenchRecorder;
-use uburst_bench::scale::Scale;
+use uburst_bench::runner::bench;
 use uburst_core::batch::{Batch, BatchPolicy, Batcher, SourceId};
 use uburst_core::collector::Collector;
 use uburst_core::poller::Poller;
@@ -21,27 +20,6 @@ use uburst_sim::events::{EventKind, EventQueue};
 use uburst_sim::node::{NodeId, PortId};
 use uburst_sim::sim::Simulator;
 use uburst_sim::time::Nanos;
-
-fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
-    let iters = Scale::from_env().bench_iters(iters);
-    let mut sink = black_box(f()); // warmup
-    let mut times = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        sink = sink.wrapping_add(black_box(f()));
-        times.push(t0.elapsed().as_secs_f64());
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = times[times.len() / 2];
-    println!(
-        "{name:<28} median {:>11.4} ms   best {:>11.4} ms",
-        median * 1e3,
-        times[0] * 1e3
-    );
-    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
-    black_box(sink);
-    median
-}
 
 fn bench_event_queue(rec: &mut BenchRecorder) {
     bench(rec, "schedule_pop_10k", 50, || {
@@ -84,6 +62,25 @@ fn bench_counter_ops(rec: &mut BenchRecorder) {
         let mut acc = 0u64;
         for _ in 0..1_000_000u32 {
             acc = acc.wrapping_add(access.poll_cost(black_box(&ids)).as_nanos());
+        }
+        acc
+    });
+    // The planned (batched) counterparts of the two cases above: the poller
+    // hot path after resolving the counter list once.
+    let plan = bank.read_plan(&ids, &access);
+    bench(rec, "planned_read_4x1M", 20, || {
+        let mut out = Vec::with_capacity(ids.len());
+        let mut acc = 0u64;
+        for _ in 0..1_000_000u32 {
+            bank.read_planned(black_box(&plan), 4, &mut out);
+            acc = acc.wrapping_add(out[0]);
+        }
+        acc
+    });
+    bench(rec, "plan_cost_lookup_4x1M", 20, || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000u32 {
+            acc = acc.wrapping_add(black_box(&plan).cost(4).as_nanos());
         }
         acc
     });

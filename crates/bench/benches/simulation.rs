@@ -4,34 +4,10 @@
 //! Self-contained `Instant`-based harness (no external bench framework);
 //! run with `cargo bench --bench simulation`.
 
-use std::hint::black_box;
-use std::time::Instant;
-
 use uburst_bench::benchjson::BenchRecorder;
-use uburst_bench::scale::Scale;
+use uburst_bench::runner::bench;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{build_scenario, RackType, ScenarioConfig};
-
-fn bench<F: FnMut() -> u64>(rec: &mut BenchRecorder, name: &str, iters: usize, mut f: F) -> f64 {
-    let iters = Scale::from_env().bench_iters(iters);
-    let mut sink = black_box(f()); // warmup
-    let mut times = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t0 = Instant::now();
-        sink = sink.wrapping_add(black_box(f()));
-        times.push(t0.elapsed().as_secs_f64());
-    }
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = times[times.len() / 2];
-    println!(
-        "{name:<28} median {:>9.2} ms   best {:>9.2} ms",
-        median * 1e3,
-        times[0] * 1e3
-    );
-    rec.record(name, median * 1e3, times[0] * 1e3, iters as u32);
-    black_box(sink);
-    median
-}
 
 fn main() {
     let mut rec = BenchRecorder::new("simulation");

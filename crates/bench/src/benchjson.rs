@@ -98,6 +98,189 @@ impl BenchRecorder {
     }
 }
 
+/// Parses a `BENCH_<name>.json` document back into rows — the inverse of
+/// [`BenchRecorder::to_json`], for the regression gate (`ext_bench_check`)
+/// that compares a fresh run against the committed baselines.
+///
+/// Hand-rolled like the writer (dependency-free workspace): a
+/// recursive-descent reader for exactly this schema — an array of flat
+/// objects with string/number/null values. Unknown keys are ignored so
+/// the format can grow; `null` medians (non-finite at record time) are
+/// rejected, since a baseline without a number cannot gate anything.
+pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+    let mut p = Parser {
+        s: json.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut rows = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        return Ok(rows);
+    }
+    loop {
+        rows.push(p.object_row()?);
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => p.skip_ws(),
+            Some(b']') => return Ok(rows),
+            other => return Err(format!("expected ',' or ']' at byte {}: {other:?}", p.i)),
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == c => Ok(()),
+            got => Err(format!(
+                "expected {:?} at byte {}, found {got:?}",
+                c as char, self.i
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = self
+                            .s
+                            .get(self.i..self.i + 4)
+                            .ok_or("truncated \\u escape")?;
+                        self.i += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                    }
+                    e => return Err(format!("bad escape {e:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.i - 1;
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self.s.get(start..start + len).ok_or("truncated UTF-8")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.i = start + len;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    /// A JSON number or `null` (returned as NaN for the caller to reject).
+    fn number_or_null(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.s[self.i..].starts_with(b"null") {
+            self.i += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn object_row(&mut self) -> Result<BenchRow, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut case = None;
+        let mut median_ms = None;
+        let mut best_ms = None;
+        let mut iters = None;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "case" => case = Some(self.string()?),
+                "median_ms" => median_ms = Some(self.number_or_null()?),
+                "best_ms" => best_ms = Some(self.number_or_null()?),
+                "iters" => iters = Some(self.number_or_null()? as u32),
+                _ => {
+                    // Ignore unknown members (string or number).
+                    if self.peek() == Some(b'"') {
+                        self.string()?;
+                    } else {
+                        self.number_or_null()?;
+                    }
+                }
+            }
+            self.skip_ws();
+            if self.peek() == Some(b',') {
+                self.i += 1;
+            }
+        }
+        let case = case.ok_or("row missing \"case\"")?;
+        let median_ms = median_ms.ok_or_else(|| format!("{case}: missing \"median_ms\""))?;
+        let best_ms = best_ms.ok_or_else(|| format!("{case}: missing \"best_ms\""))?;
+        if !median_ms.is_finite() || !best_ms.is_finite() {
+            return Err(format!("{case}: non-finite timing"));
+        }
+        let iters = iters.ok_or_else(|| format!("{case}: missing \"iters\""))?;
+        Ok(BenchRow {
+            case,
+            median_ms,
+            best_ms,
+            iters,
+        })
+    }
+}
+
 /// Escapes a string for JSON (quotes, backslashes, control chars).
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -162,5 +345,35 @@ mod tests {
     fn path_honors_env_dir() {
         let rec = BenchRecorder::new("unit");
         assert!(rec.path().to_string_lossy().ends_with("BENCH_unit.json"));
+    }
+
+    #[test]
+    fn parse_round_trips_the_writer() {
+        let mut rec = BenchRecorder::new("unit");
+        rec.record("fast_case", 1.25, 1.0, 30);
+        rec.record("slow \"case\"\n", 100.5, 99.875, 5);
+        let parsed = parse_rows(&rec.to_json()).expect("round trip");
+        assert_eq!(parsed, rec.rows());
+    }
+
+    #[test]
+    fn parse_accepts_empty_array_and_unknown_keys() {
+        assert!(parse_rows("[\n]\n").expect("empty").is_empty());
+        let rows = parse_rows(
+            "[{\"case\": \"a\", \"median_ms\": 2, \"best_ms\": 1.5, \"iters\": 3, \"note\": \"x\"}]",
+        )
+        .expect("unknown keys ignored");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].median_ms, 2.0);
+    }
+
+    #[test]
+    fn parse_rejects_null_medians_and_garbage() {
+        assert!(parse_rows(
+            "[{\"case\": \"a\", \"median_ms\": null, \"best_ms\": 1, \"iters\": 1}]"
+        )
+        .is_err());
+        assert!(parse_rows("not json").is_err());
+        assert!(parse_rows("[{\"median_ms\": 1, \"best_ms\": 1, \"iters\": 1}]").is_err());
     }
 }

@@ -143,7 +143,7 @@ fn main() {
             hot_up as f64 / (hot_dn + hot_up) as f64
         };
         // Server correlation on downlink utilization.
-        let m = uburst_analysis::correlation_matrix(&utils[..n]);
+        let m = uburst_bench::correlation_matrix_pooled(&utils[..n]);
         let corr_all = mean_offdiagonal(&m);
         // Mean correlation within pods of 4 (cache structure).
         let mut pod_sum = 0.0;

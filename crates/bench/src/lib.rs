@@ -15,16 +15,20 @@
 pub mod benchjson;
 pub mod campaign;
 pub mod figures;
+pub mod pearson_pool;
 pub mod pool;
 pub mod report;
+pub mod runner;
 pub mod scale;
 
 pub use campaign::{
     measure_buffer_and_ports, measure_port_groups, measure_single_port, port_bps,
     representative_port, run_campaign_hardened, CampaignRun, CampaignSpec, NetSnapshot,
 };
+pub use pearson_pool::{correlation_matrix_pooled, correlation_matrix_pooled_on};
 pub use pool::{run_jobs, run_jobs_on, run_parallel, run_parallel_on};
 pub use report::{fmt_bytes, fmt_fraction, print_cdf_table, Table};
+pub use runner::bench;
 pub use scale::Scale;
 
 /// Standard CDF evaluation points for burst-duration figures, microseconds.

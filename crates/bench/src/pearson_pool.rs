@@ -1,0 +1,101 @@
+//! Pooled evaluation of the Pearson correlation matrix.
+//!
+//! Fig. 8's heatmap and the calibration sweep compute k×k correlation
+//! matrices over campaign-length series — the O(k²·n) dot products
+//! dominate. The serial driver in `uburst-analysis` already centers each
+//! series once ([`CenteredMatrix`]); this module fans the per-row
+//! upper-triangle tails across the campaign worker pool
+//! ([`crate::pool::run_jobs`]) and stitches them back **in submission
+//! order**.
+//!
+//! Bit-identity at any thread count comes for free from the split:
+//! [`CenteredMatrix::entry`] depends only on `(i, j)` — same float ops in
+//! the same order regardless of which worker evaluates it — and
+//! `run_jobs` returns row tails indexed by submission order, so
+//! [`CenteredMatrix::assemble`] sees exactly what the serial loop would
+//! have produced. `UBURST_THREADS=1` runs the rows inline on the caller,
+//! which *is* the serial code path.
+
+use uburst_analysis::CenteredMatrix;
+
+use crate::pool::{run_jobs, run_jobs_on};
+
+/// [`uburst_analysis::correlation_matrix`] with the row loop fanned over
+/// the worker pool. Bit-identical to the serial function at any thread
+/// count (asserted by `pooled_matrix_is_thread_count_invariant` below).
+///
+/// # Panics
+/// Panics if series lengths differ.
+pub fn correlation_matrix_pooled(series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let c = CenteredMatrix::new(series);
+    if c.is_empty() {
+        return Vec::new();
+    }
+    let tails = run_jobs((0..c.len()).collect(), |i| c.row_tail(i));
+    c.assemble(tails)
+}
+
+/// [`correlation_matrix_pooled`] with an explicit thread count (see
+/// [`run_jobs_on`]), bypassing `UBURST_THREADS` and the global budget.
+/// Tests use this to pin both sides of the invariance assertion.
+pub fn correlation_matrix_pooled_on(threads: usize, series: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let c = CenteredMatrix::new(series);
+    if c.is_empty() {
+        return Vec::new();
+    }
+    let tails = run_jobs_on(threads, (0..c.len()).collect(), |i| c.row_tail(i));
+    c.assemble(tails)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uburst_analysis::correlation_matrix;
+
+    fn series(k: usize, n: usize) -> Vec<Vec<f64>> {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut out: Vec<Vec<f64>> = (0..k)
+            .map(|_| {
+                (0..n)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (state >> 11) as f64 / (1u64 << 53) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        // A flat series exercises the zero-variance path.
+        out[k / 2] = vec![0.25; n];
+        out
+    }
+
+    /// The pooled matrix must match the serial one to the bit for every
+    /// thread count — the report strings rendered from it depend on it.
+    #[test]
+    fn pooled_matrix_is_thread_count_invariant() {
+        let s = series(9, 401);
+        let serial = correlation_matrix(&s);
+        for threads in [1, 2, 4, 8] {
+            let pooled = correlation_matrix_pooled_on(threads, &s);
+            assert_eq!(pooled.len(), serial.len());
+            for (i, (pr, sr)) in pooled.iter().zip(&serial).enumerate() {
+                for (j, (p, r)) in pr.iter().zip(sr).enumerate() {
+                    assert_eq!(
+                        p.to_bits(),
+                        r.to_bits(),
+                        "entry ({i},{j}) differs at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_matrix_uses_the_global_pool() {
+        let s = series(5, 101);
+        assert_eq!(correlation_matrix_pooled(&s), correlation_matrix(&s));
+        assert!(correlation_matrix_pooled(&[]).is_empty());
+    }
+}

@@ -48,7 +48,7 @@
 use std::any::Any;
 use std::rc::Rc;
 
-use uburst_asic::{AccessModel, AsicCounters, FaultInjector, FaultStats};
+use uburst_asic::{AccessModel, AsicCounters, FaultInjector, FaultStats, ReadPlan};
 use uburst_sim::node::{Ctx, Node, NodeId, PortId};
 use uburst_sim::packet::Packet;
 use uburst_sim::rng::Rng;
@@ -185,7 +185,14 @@ impl PollerStats {
 /// The sampling loop, attached to one switch's counter bank.
 pub struct Poller {
     bank: Rc<AsicCounters>,
-    access: AccessModel,
+    /// The campaign's counter list resolved against the bank and access
+    /// model once at construction: per-poll costs become a table lookup
+    /// and per-poll reads a batched slot gather (see
+    /// [`uburst_asic::ReadPlan`]). Shed read sets are prefixes of the
+    /// campaign list, so one plan covers every degradation level.
+    plan: ReadPlan,
+    /// Reusable buffer for batched counter reads.
+    read_buf: Vec<u64>,
     campaign: CampaignConfig,
     rng: Rng,
     output: Box<dyn SampleOutput>,
@@ -225,9 +232,11 @@ impl Poller {
         if campaign.interval.is_zero() {
             return Err(PollError::ZeroInterval);
         }
+        let plan = bank.read_plan(&campaign.counters, &access);
         Ok(Poller {
             bank,
-            access,
+            plan,
+            read_buf: Vec::with_capacity(n),
             campaign,
             rng: Rng::new(seed),
             output,
@@ -376,7 +385,7 @@ impl Poller {
                     return;
                 }
                 Ok(extra) => {
-                    let work = self.access.poll_cost(self.active_counters()) + extra;
+                    let work = self.plan.cost(self.active_n) + extra;
                     let jitter = self.campaign.core_mode.sample_jitter(&mut self.rng);
                     self.stats.busy += work;
                     ctx.timer_in(work + jitter, TOKEN_POLL_DONE);
@@ -384,7 +393,7 @@ impl Poller {
                 }
             }
         }
-        let work = self.access.poll_cost(self.active_counters());
+        let work = self.plan.cost(self.active_n);
         let jitter = self.campaign.core_mode.sample_jitter(&mut self.rng);
         // Only the bus transaction is *our* CPU time; jitter is time stolen
         // by the kernel / other work, which delays completion but is not
@@ -393,27 +402,21 @@ impl Poller {
         ctx.timer_in(work + jitter, TOKEN_POLL_DONE);
     }
 
-    fn active_counters(&self) -> &[uburst_asic::CounterId] {
-        &self.campaign.counters[..self.active_n]
-    }
-
     fn complete_poll(&mut self, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         // Snapshot the counters with the *actual* read time, not the
         // deadline: "we still capture ... the correct timestamp" (Table 1).
+        // The active prefix is gathered in one planned batch; shed tail
+        // counters keep schema alignment by carrying the last decoded value
+        // forward — no bytes are lost because the counter is cumulative and
+        // the next real read catches up the delta.
         let shed = self.campaign.counters.len() - self.active_n;
-        for i in 0..self.campaign.counters.len() {
-            if i >= self.active_n {
-                // Shed counter: the sink keeps schema alignment by carrying
-                // the last decoded value forward; no bytes are lost because
-                // the counter is cumulative and the next real read catches
-                // up the delta.
-                continue;
-            }
-            let id = self.campaign.counters[i];
-            let mut v = self.bank.read(id);
+        self.bank
+            .read_planned(&self.plan, self.active_n, &mut self.read_buf);
+        for i in 0..self.active_n {
+            let mut v = self.read_buf[i];
             if let Some(faults) = self.faults.as_mut() {
-                v = faults.filter_value(id, v);
+                v = faults.filter_value(self.campaign.counters[i], v);
             }
             if let Some(dec) = self.decoders[i].as_mut() {
                 v = dec.decode(v);

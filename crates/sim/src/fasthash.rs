@@ -1,0 +1,101 @@
+//! A fast deterministic hasher for per-packet map lookups.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) costs tens of
+//! nanoseconds per lookup — fine for adversarial inputs, wasteful for the
+//! simulator's own keys (`FlowId`s and node ids it minted itself). This is
+//! the FxHash multiply-and-rotate used throughout rustc: one multiply per
+//! word, quality adequate for trusted keys.
+//!
+//! Swapping the hasher is observably identical as long as no code iterates
+//! a map (transport and routing only do keyed access); determinism actually
+//! *improves* — FxHash has no per-process random state, so even debug
+//! walks of these maps would be stable across runs.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-FxHash mixing constant (64-bit golden-ratio multiplier).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-multiply-per-word hasher for trusted (non-adversarial) keys.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_store_and_retrieve() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for k in 0..10_000u64 {
+            m.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k as u32);
+        }
+        for k in 0..10_000u64 {
+            assert_eq!(
+                m.get(&k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                Some(&(k as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let h1 = b.hash_one(42u64);
+        let h2 = b.hash_one(42u64);
+        assert_eq!(h1, h2);
+        // Nearby keys land in different buckets of a small table.
+        let mut low_bits: FxHashSet<u64> = FxHashSet::default();
+        for k in 0..64u64 {
+            low_bits.insert(b.hash_one(k) >> 56);
+        }
+        assert!(low_bits.len() > 16, "only {} distinct", low_bits.len());
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod counters;
 pub mod events;
+pub mod fasthash;
 pub mod link;
 pub mod nic;
 pub mod node;

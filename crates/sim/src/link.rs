@@ -34,10 +34,16 @@ impl LinkSpec {
 
     /// Time to put `bytes` of frame (plus preamble/IFG) on the wire.
     pub fn ser_time(&self, bytes: u32) -> Nanos {
-        let bits = u64::from(bytes + WIRE_OVERHEAD_BYTES) * 8;
         // bits * 1e9 / bps, rounded up so a busy port never "catches up"
-        // beyond line rate.
-        Nanos((bits as u128 * 1_000_000_000).div_ceil(self.bandwidth_bps as u128) as u64)
+        // beyond line rate. Every frame-sized input fits the u64 path;
+        // u128 only backs up the (unreachable in practice) huge sizes.
+        let bits = u64::from(bytes + WIRE_OVERHEAD_BYTES) * 8;
+        match bits.checked_mul(1_000_000_000) {
+            Some(num) => Nanos(num.div_ceil(self.bandwidth_bps)),
+            None => {
+                Nanos((bits as u128 * 1_000_000_000).div_ceil(self.bandwidth_bps as u128) as u64)
+            }
+        }
     }
 
     /// Bytes/second of usable frame capacity ignoring per-frame overhead;

@@ -8,7 +8,6 @@
 //! mechanism behind the paper's Fig. 7.
 
 use std::cell::Cell;
-use std::collections::HashMap;
 
 use crate::node::{NodeId, PortId};
 use crate::time::Nanos;
@@ -60,7 +59,10 @@ struct Group {
 /// Destination-based routing with ECMP groups.
 #[derive(Debug)]
 pub struct RoutingTable {
-    routes: HashMap<NodeId, Route>,
+    /// Dense per-destination routes, indexed by `NodeId`. Node ids are
+    /// assigned densely by the simulator and racks are small, so a flat
+    /// array lookup beats hashing on the per-packet fast path.
+    routes: Vec<Option<Route>>,
     groups: Vec<Group>,
     default_route: Option<Route>,
     seed: u64,
@@ -71,7 +73,7 @@ impl RoutingTable {
     /// An empty table using flow-hash ECMP with the given hash seed.
     pub fn new(seed: u64) -> Self {
         RoutingTable {
-            routes: HashMap::new(),
+            routes: Vec::new(),
             groups: Vec::new(),
             default_route: None,
             seed,
@@ -100,7 +102,11 @@ impl RoutingTable {
 
     /// Routes traffic destined to `dst` according to `route`.
     pub fn set_route(&mut self, dst: NodeId, route: Route) {
-        self.routes.insert(dst, route);
+        let i = dst.0 as usize;
+        if self.routes.len() <= i {
+            self.routes.resize(i + 1, None);
+        }
+        self.routes[i] = Some(route);
     }
 
     /// Fallback for destinations without an explicit entry (typically the
@@ -113,7 +119,12 @@ impl RoutingTable {
     /// `ecmp_key`, arriving at time `now` (used by flowlet mode). Returns
     /// `None` when the destination is unroutable.
     pub fn lookup(&self, dst: NodeId, ecmp_key: u64, now: Nanos) -> Option<PortId> {
-        let route = self.routes.get(&dst).copied().or(self.default_route)?;
+        let route = self
+            .routes
+            .get(dst.0 as usize)
+            .copied()
+            .flatten()
+            .or(self.default_route)?;
         Some(match route {
             Route::Port(p) => p,
             Route::Group(g) => {

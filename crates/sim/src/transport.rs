@@ -19,8 +19,9 @@
 //! A [`TransportEndpoint`] is embedded in each host node. The host forwards
 //! packets and timers to it and receives [`TransportEvent`]s back.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::nic::HostNic;
 use crate::node::{Ctx, NodeId};
 use crate::packet::{segment_wire_size, segments_for, FlowId, Packet, PacketKind};
@@ -174,11 +175,11 @@ pub struct TransportEndpoint {
     host: NodeId,
     cfg: TransportConfig,
     next_flow: u32,
-    sends: HashMap<FlowId, SendState>,
-    recvs: HashMap<FlowId, RecvState>,
+    sends: FxHashMap<FlowId, SendState>,
+    recvs: FxHashMap<FlowId, RecvState>,
     /// Flows fully received; late retransmissions for these are ACKed and
     /// dropped without re-delivering to the application.
-    completed_recv: HashSet<FlowId>,
+    completed_recv: FxHashSet<FlowId>,
     /// Completion records of locally started flows, in completion order.
     fcts: Vec<FctRecord>,
     /// Aggregate diagnostics.
@@ -192,9 +193,9 @@ impl TransportEndpoint {
             host,
             cfg,
             next_flow: 0,
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
-            completed_recv: HashSet::new(),
+            sends: FxHashMap::default(),
+            recvs: FxHashMap::default(),
+            completed_recv: FxHashSet::default(),
             fcts: Vec::new(),
             stats: TransportStats::default(),
         }
