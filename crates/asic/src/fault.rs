@@ -68,6 +68,13 @@ pub struct FaultPlan {
     pub spike_max: Nanos,
     /// Probability that a read value is the previously latched one.
     pub stale_read: f64,
+    /// When set, stale reads are served from a single **bank-wide** read
+    /// snoop register (the last value any counter latched through the
+    /// bus) instead of a per-counter latch. In a multi-counter campaign
+    /// this leaks one counter's value into another's read — the raw
+    /// stream can *regress*, which is exactly the failure a
+    /// wrap-plausibility guard must distinguish from a genuine wrap.
+    pub shared_snoop: bool,
     /// Counter register width in bits (1..=64); values wrap mod `2^bits`.
     pub counter_bits: u32,
 }
@@ -84,6 +91,7 @@ impl Default for FaultPlan {
             spike_min: Nanos::from_micros(20),
             spike_max: Nanos::from_micros(80),
             stale_read: 0.0,
+            shared_snoop: false,
             counter_bits: 64,
         }
     }
@@ -116,6 +124,13 @@ impl FaultPlan {
     pub fn with_stale_read(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         self.stale_read = p;
+        self
+    }
+
+    /// Serves stale reads from one bank-wide snoop register instead of a
+    /// per-counter latch (see [`FaultPlan::shared_snoop`]).
+    pub fn with_shared_snoop(mut self) -> Self {
+        self.shared_snoop = true;
         self
     }
 
@@ -170,6 +185,9 @@ pub struct FaultInjector {
     plan: FaultPlan,
     rng: Rng,
     latched: HashMap<CounterId, u64>,
+    /// The bank-wide read snoop: last value *any* counter latched through
+    /// the bus. Only consulted when [`FaultPlan::shared_snoop`] is set.
+    bus_latch: Option<u64>,
     stats: FaultStats,
 }
 
@@ -180,6 +198,7 @@ impl FaultInjector {
             rng: Rng::new(plan.seed ^ 0xFA17_1A7E_C0DE_CAFE),
             plan,
             latched: HashMap::new(),
+            bus_latch: None,
             stats: FaultStats::default(),
         }
     }
@@ -196,12 +215,14 @@ impl FaultInjector {
     pub fn pre_read(&mut self) -> Result<Nanos, ReadFault> {
         if self.plan.transient_failure > 0.0 && self.rng.chance(self.plan.transient_failure) {
             self.stats.bus_timeouts += 1;
+            uburst_obs::counter_add("uburst_fault_bus_timeouts_total", 1);
             return Err(ReadFault::BusTimeout {
                 cost: self.plan.bus_timeout,
             });
         }
         if self.plan.latency_spike > 0.0 && self.rng.chance(self.plan.latency_spike) {
             self.stats.latency_spikes += 1;
+            uburst_obs::counter_add("uburst_fault_latency_spikes_total", 1);
             let lo = self.plan.spike_min.as_nanos();
             let hi = self.plan.spike_max.as_nanos().max(lo + 1);
             return Ok(Nanos(self.rng.range(lo, hi - 1)));
@@ -215,12 +236,19 @@ impl FaultInjector {
     pub fn filter_value(&mut self, id: CounterId, raw: u64) -> u64 {
         let wrapped = raw & self.plan.value_mask();
         if self.plan.stale_read > 0.0 && self.rng.chance(self.plan.stale_read) {
-            if let Some(&old) = self.latched.get(&id) {
+            let old = if self.plan.shared_snoop {
+                self.bus_latch
+            } else {
+                self.latched.get(&id).copied()
+            };
+            if let Some(old) = old {
                 self.stats.stale_values += 1;
+                uburst_obs::counter_add("uburst_fault_stale_values_total", 1);
                 return old;
             }
         }
         self.latched.insert(id, wrapped);
+        self.bus_latch = Some(wrapped);
         wrapped
     }
 
@@ -302,6 +330,25 @@ mod tests {
         // A different counter has its own latch.
         let other = CounterId::RxBytes(PortId(1));
         assert_eq!(inj.filter_value(other, 777), 777);
+    }
+
+    #[test]
+    fn shared_snoop_leaks_across_counters() {
+        // With one bank-wide snoop register, a stale read on counter B
+        // returns whatever counter A last latched — the raw stream for B
+        // regresses, which is indistinguishable from a wrap without a
+        // plausibility guard.
+        let mut inj =
+            FaultInjector::new(FaultPlan::none(9).with_stale_read(1.0).with_shared_snoop());
+        let a = CounterId::TxBytes(PortId(0));
+        let b = CounterId::RxBytes(PortId(1));
+        assert_eq!(inj.filter_value(a, 500_000), 500_000, "first read latches");
+        assert_eq!(
+            inj.filter_value(b, 900_000),
+            500_000,
+            "B's read serves A's latched value"
+        );
+        assert_eq!(inj.stats().stale_values, 1);
     }
 
     #[test]

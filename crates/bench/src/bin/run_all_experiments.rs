@@ -10,6 +10,10 @@
 use std::time::Instant;
 
 fn main() {
+    // Record pipeline telemetry for the whole run. Every metric is a
+    // commutative aggregate over simulated time, so the snapshot printed
+    // below is byte-identical for any UBURST_THREADS value.
+    uburst_obs::enable();
     let scale = uburst_bench::Scale::from_env();
     let t0 = Instant::now();
     println!("uburst reproduction report (scale: {})", scale.label());
@@ -25,6 +29,26 @@ fn main() {
         println!("\n### {id}: {title}\n");
         print!("{report}");
     }
+
+    let snap = uburst_obs::snapshot();
+    println!("\n### telemetry: pipeline self-observability\n");
+    println!("stage latency rollup (simulated time):");
+    print!("{}", snap.flame_rollup());
+    println!("\nmetrics (Prometheus exposition):");
+    print!("{}", snap.to_prometheus());
+    // UBURST_TELEMETRY_OUT=<prefix> additionally writes <prefix>.prom and
+    // <prefix>.json — what the CI snapshot-diff job compares across
+    // thread counts.
+    if let Ok(prefix) = std::env::var("UBURST_TELEMETRY_OUT") {
+        if !prefix.is_empty() {
+            std::fs::write(format!("{prefix}.prom"), snap.to_prometheus())
+                .expect("write telemetry .prom");
+            std::fs::write(format!("{prefix}.json"), snap.to_json())
+                .expect("write telemetry .json");
+            eprintln!("[telemetry written to {prefix}.prom / {prefix}.json]");
+        }
+    }
+
     eprintln!(
         "[all experiments completed in {:.1}s on {} thread(s)]",
         t0.elapsed().as_secs_f64(),

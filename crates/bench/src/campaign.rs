@@ -99,6 +99,13 @@ impl CampaignSpec {
         } = self;
         let seed = cfg.seed;
         let n_ports = cfg.n_servers + cfg.clos.n_fabric;
+        // Fastest link the campaign can observe: bounds the plausible
+        // per-interval byte delta for the wrap-regression guard.
+        let max_bps = cfg
+            .clos
+            .server_link
+            .bandwidth_bps
+            .max(cfg.clos.uplink.bandwidth_bps);
         let mut scenario = build_scenario(cfg);
         let warmup = scenario.recommended_warmup();
         scenario.sim.run_until(warmup);
@@ -112,7 +119,12 @@ impl CampaignSpec {
         .expect("bench campaign is well-formed")
         .with_retry(retry);
         if let Some(plan) = faults {
-            poller = poller.with_faults(FaultInjector::new(plan));
+            // Fault plans can serve stale (even cross-counter) raws; tighten
+            // the decoders' wrap guard to the link-rate-derived threshold so
+            // a regressed raw is rejected instead of decoded as a wrap.
+            poller = poller
+                .with_faults(FaultInjector::new(plan))
+                .with_wrap_guard(max_bps);
         }
         if let Some(policy) = degradation {
             poller = poller.with_degradation(policy);
@@ -125,6 +137,15 @@ impl CampaignSpec {
         scenario.sim.run_until(stop + Nanos::from_millis(1));
         let poller_ref = scenario.sim.node_mut::<Poller>(id);
         let poller_stats = poller_ref.stats();
+        if uburst_obs::enabled() {
+            // Simulated extent of the whole campaign task, as seen from the
+            // pool layer (the poller records its own "campaign" span).
+            let extent = poller_stats
+                .stopped_at
+                .as_nanos()
+                .saturating_sub(poller_stats.started_at.as_nanos());
+            uburst_obs::span_record("pool/campaign_task", extent);
+        }
         let fault_stats = poller_ref.fault_stats();
         let degrade_level = poller_ref.degrade_level();
         let series = poller_ref.take_series().expect("in-memory campaign");

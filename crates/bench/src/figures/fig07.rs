@@ -98,6 +98,10 @@ pub fn run(scale: Scale) -> String {
                 })
                 .collect();
             let fine = mad_per_period(&series);
+            // `coarsen` averages a shorter trailing chunk rather than
+            // dropping it, so no samples are silently truncated here
+            // (fig10, whose windows must be full-width, reports its
+            // excluded tail explicitly).
             let coarse_series: Vec<Vec<f64>> =
                 series.iter().map(|s| coarsen(s, coarse_factor)).collect();
             let coarse = mad_per_period(&coarse_series);

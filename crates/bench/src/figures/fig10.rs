@@ -23,6 +23,10 @@ use crate::scale::Scale;
 /// count, collected before cross-rack normalization.
 type RackOccupancy = (RackType, Vec<(usize, f64)>, usize);
 
+/// One instance's window pairs, port count, and how many trailing samples
+/// fell outside the last full window (counted, never silently dropped).
+type InstancePairs = (Vec<(usize, f64)>, usize, usize);
+
 /// Runs the experiment and renders the report.
 pub fn run(scale: Scale) -> String {
     let interval = Nanos::from_micros(300);
@@ -56,7 +60,7 @@ pub fn run(scale: Scale) -> String {
             jobs.push((rack_type, r));
         }
     }
-    let instance_pairs = run_jobs(jobs, |(rack_type, r)| {
+    let instance_pairs: Vec<InstancePairs> = run_jobs(jobs, |(rack_type, r)| {
         let cfg = ScenarioConfig::new(rack_type, 10_500 + r as u64);
         let n_ports = cfg.n_servers + cfg.clos.n_fabric;
         let bps: Vec<u64> = (0..n_ports)
@@ -79,6 +83,16 @@ pub fn run(scale: Scale) -> String {
         let n_samples = port_utils[0].len();
         let samples_per_window = (window.as_nanos() / interval.as_nanos()) as usize;
         let n_windows = n_samples / samples_per_window;
+        // The paper's windows are full-width only; trailing samples that
+        // don't fill a window are excluded from the figure but reported
+        // below, so truncation is never silent.
+        let dropped = n_samples - n_windows * samples_per_window;
+        if uburst_obs::enabled() {
+            uburst_obs::counter_add(
+                "uburst_fig10_trailing_samples_dropped_total",
+                dropped as u64,
+            );
+        }
         let mut pairs = Vec::with_capacity(n_windows);
         for w in 0..n_windows {
             let lo = w * samples_per_window;
@@ -93,19 +107,23 @@ pub fn run(scale: Scale) -> String {
             let peak = peaks.vs[lo + 1..=hi].iter().copied().max().unwrap_or(0) as f64;
             pairs.push((hot_ports, peak));
         }
-        (pairs, n_ports)
+        (pairs, n_ports, dropped)
     });
+    let mut trailing_dropped: Vec<(RackType, usize)> = Vec::new();
     for (ti, rack_type) in RackType::ALL.into_iter().enumerate() {
         let mut pairs: Vec<(usize, f64)> = Vec::new();
         let mut n_ports_total = 0usize;
-        for (instance, n_ports) in &instance_pairs[ti * racks..(ti + 1) * racks] {
+        let mut dropped_total = 0usize;
+        for (instance, n_ports, dropped) in &instance_pairs[ti * racks..(ti + 1) * racks] {
             for &(k, peak) in instance {
                 global_max = global_max.max(peak);
                 pairs.push((k, peak));
             }
             n_ports_total = *n_ports;
+            dropped_total += dropped;
         }
         per_rack.push((rack_type, pairs, n_ports_total));
+        trailing_dropped.push((rack_type, dropped_total));
     }
 
     let mut table = Table::new(&["rack", "max_hot_ports", "port_share", "windows"]);
@@ -158,6 +176,16 @@ pub fn run(scale: Scale) -> String {
     }
 
     writeln!(out, "{}", table.render()).unwrap();
+    let dropped_note = trailing_dropped
+        .iter()
+        .map(|(rt, d)| format!("{} {d}", rt.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    writeln!(
+        out,
+        "trailing samples outside the last full {window} window (excluded from the figure): {dropped_note}"
+    )
+    .unwrap();
     out.push_str(&all_rows);
     writeln!(out, "\npaper-shape checks:").unwrap();
     let hadoop = max_share

@@ -14,6 +14,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig10;
+pub mod overhead;
 pub mod table01;
 pub mod table02;
 
@@ -31,6 +32,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             fig01::run,
         ),
         ("fig02", "Drop time series on two ports", fig02::run),
+        (
+            "sec4.1",
+            "Self-measurement overhead accounting",
+            overhead::run,
+        ),
         ("table01", "Sampling interval vs miss rate", table01::run),
         ("fig03", "CDF of uburst durations", fig03::run),
         ("table02", "Burst Markov model", table02::run),

@@ -107,6 +107,11 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = inputs.len();
+    if uburst_obs::enabled() {
+        // Submitted-job accounting: counts inputs, not workers, so the
+        // total is identical whatever the thread budget resolves to.
+        uburst_obs::counter_add("uburst_pool_jobs_total", n as u64);
+    }
     if extra == 0 || n <= 1 {
         return inputs.into_iter().map(f).collect();
     }

@@ -1,0 +1,199 @@
+//! The observability layer's core contract: telemetry snapshots are a
+//! pure function of the work done, never of how it was scheduled.
+//!
+//! Two acceptance properties from the issue:
+//! 1. Running the same campaign set on 1 worker thread and on 8 produces
+//!    byte-identical Prometheus and JSON snapshots — every aggregate is
+//!    commutative and clocked on simulated time, so interleaving cannot
+//!    show through.
+//! 2. A WAL session that crashes, recovers, and resumes produces the same
+//!    snapshot every time the same crash is replayed.
+//!
+//! The registry is a process-global, so the tests serialize on one lock
+//! and reset it around each measurement.
+
+use std::sync::Mutex;
+
+use uburst_asic::{CounterId, FaultPlan};
+use uburst_bench::{run_parallel_on, CampaignSpec};
+use uburst_core::wal::WalStorage;
+use uburst_core::{
+    Batch, DurableStore, FsyncPolicy, MemStorage, Series, Shipper, ShipperConfig, SourceId,
+    TornStorage, WalConfig,
+};
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` against a freshly reset, enabled registry and returns its
+/// result; disables recording afterwards so unrelated tests stay no-op.
+fn with_registry<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    uburst_obs::reset();
+    uburst_obs::enable();
+    let out = f();
+    uburst_obs::disable();
+    uburst_obs::reset();
+    out
+}
+
+/// A small campaign set that exercises the instrumented paths: plain
+/// polling, faulted reads with narrow counters (wrap decoding), and the
+/// buffer-peak register.
+fn specs() -> Vec<CampaignSpec> {
+    let plain = |rack, seed| {
+        CampaignSpec::new(
+            ScenarioConfig::new(rack, seed),
+            vec![CounterId::TxBytes(PortId(1)), CounterId::BufferPeak],
+            Nanos::from_micros(200),
+            Nanos::from_millis(5),
+        )
+    };
+    let faulted = CampaignSpec::new(
+        ScenarioConfig::new(RackType::Hadoop, 301),
+        vec![CounterId::TxBytes(PortId(0))],
+        Nanos::from_micros(100),
+        Nanos::from_millis(5),
+    )
+    .with_faults(
+        FaultPlan::none(0x7E1E)
+            .with_transient_failure(0.02)
+            .with_stale_read(0.01)
+            .with_counter_bits(32),
+    );
+    vec![
+        plain(RackType::Web, 201),
+        plain(RackType::Cache, 202),
+        plain(RackType::Hadoop, 203),
+        faulted,
+    ]
+}
+
+#[test]
+fn snapshots_are_byte_identical_across_thread_counts() {
+    let measure = |threads: usize| {
+        with_registry(|| {
+            let runs = run_parallel_on(threads, specs());
+            assert_eq!(runs.len(), 4);
+            let snap = uburst_obs::snapshot();
+            (snap.to_prometheus(), snap.to_json())
+        })
+    };
+    let sequential = measure(1);
+    let parallel = measure(8);
+    assert_eq!(
+        sequential.0, parallel.0,
+        "Prometheus exposition differs between 1 and 8 worker threads"
+    );
+    assert_eq!(
+        sequential.1, parallel.1,
+        "JSON exposition differs between 1 and 8 worker threads"
+    );
+    // Sanity: the snapshot actually observed the pipeline.
+    for metric in [
+        "uburst_poller_polls_total",
+        "uburst_poll_cost_ns_bucket{mode=\"dedicated\"",
+        "uburst_fault_bus_timeouts_total",
+        "uburst_pool_jobs_total",
+    ] {
+        assert!(
+            sequential.0.contains(metric),
+            "snapshot is missing {metric}:\n{}",
+            sequential.0
+        );
+    }
+}
+
+// ---- WAL crash/recovery determinism ------------------------------------
+
+fn make_batch(i: u64) -> Batch {
+    let mut s = Series::new();
+    for k in 0..4 {
+        s.push(Nanos(1 + i * 100 + k), i * 10 + k);
+    }
+    Batch {
+        source: SourceId(0),
+        campaign: "telemetry-crash".into(),
+        counter: CounterId::TxBytes(PortId(0)),
+        samples: s,
+    }
+}
+
+/// Ships 16 batches into a WAL that dies after `budget` bytes, recovers
+/// from what the "disk" kept, resumes, and returns the final telemetry.
+/// Fully deterministic: same budget, same snapshot.
+fn crash_and_resume(budget: u64) -> String {
+    let cfg = WalConfig {
+        segment_max_bytes: 256,
+        fsync: FsyncPolicy::Always,
+    };
+    let mut shipper = Shipper::new(
+        SourceId(0),
+        ShipperConfig {
+            window: 4,
+            rto_ticks: 2,
+        },
+    );
+    for i in 0..16 {
+        shipper.offer(make_batch(i));
+    }
+
+    // Direct shipper -> store loop (no lossy link: the crash is the only
+    // fault under test). Returns whether the storage crashed.
+    fn drive<S: WalStorage>(ds: &mut DurableStore<S>, shipper: &mut Shipper) -> bool {
+        for _tick in 0..10_000 {
+            for sb in shipper.tick() {
+                match ds.ingest(&sb) {
+                    Ok((_, ack)) => shipper.on_ack(ack),
+                    Err(e) => {
+                        assert!(e.is_injected_crash(), "unexpected real error: {e}");
+                        return true;
+                    }
+                }
+            }
+            if shipper.done() {
+                return false;
+            }
+        }
+        panic!("shipping livelocked");
+    }
+
+    let disk = MemStorage::new();
+    let crashed = {
+        let torn = TornStorage::new(disk.clone(), budget);
+        let mut ds = DurableStore::create(torn, cfg).expect("budget outlives the header");
+        drive(&mut ds, &mut shipper)
+    };
+    assert!(crashed, "budget {budget} never crashed the session");
+
+    // Recover from the surviving bytes and resume on intact storage.
+    let (mut rec, _report) = DurableStore::recover(disk, cfg).expect("recovery");
+    let resumed_crash = drive(&mut rec, &mut shipper);
+    assert!(!resumed_crash, "intact storage cannot crash");
+    assert!(shipper.done(), "resume left unacked batches");
+    uburst_obs::snapshot().to_prometheus()
+}
+
+#[test]
+fn wal_crash_recovery_telemetry_is_reproducible() {
+    let budget = 700;
+    let first = with_registry(|| crash_and_resume(budget));
+    let second = with_registry(|| crash_and_resume(budget));
+    assert_eq!(
+        first, second,
+        "replaying the same crash produced different telemetry"
+    );
+    for metric in [
+        "uburst_wal_appends_total",
+        "uburst_wal_fsyncs_total",
+        "uburst_wal_recoveries_total",
+        "uburst_wal_recovered_records_total",
+    ] {
+        assert!(
+            first.contains(metric),
+            "snapshot is missing {metric}:\n{first}"
+        );
+    }
+}

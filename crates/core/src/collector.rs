@@ -193,8 +193,14 @@ fn supervise(rx: Receiver<Batch>, store: Arc<SampleStore>, health: Arc<Health>, 
         let result = catch_unwind(AssertUnwindSafe(|| {
             for batch in rx.iter() {
                 match ingest(&store, &batch) {
-                    Ok(()) => health.ingested.fetch_add(1, Ordering::Relaxed),
-                    Err(_) => health.quarantined.fetch_add(1, Ordering::Relaxed),
+                    Ok(()) => {
+                        health.ingested.fetch_add(1, Ordering::Relaxed);
+                        uburst_obs::counter_add("uburst_collector_batches_ingested_total", 1);
+                    }
+                    Err(_) => {
+                        health.quarantined.fetch_add(1, Ordering::Relaxed);
+                        uburst_obs::counter_add("uburst_collector_batches_quarantined_total", 1);
+                    }
                 };
             }
         }));
@@ -203,6 +209,7 @@ fn supervise(rx: Receiver<Batch>, store: Arc<SampleStore>, health: Arc<Health>, 
             Err(_) => {
                 restarts += 1;
                 health.restarts.fetch_add(1, Ordering::Relaxed);
+                uburst_obs::counter_add("uburst_collector_worker_restarts_total", 1);
                 if restarts > MAX_RESTARTS_PER_WORKER {
                     break; // retire; the rest of the pool carries the load
                 }

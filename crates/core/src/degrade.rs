@@ -156,10 +156,13 @@ impl DegradationController {
             self.level += 1;
             self.steps_down += 1;
             self.since_change = 0;
+            uburst_obs::counter_add("uburst_degrade_steps_down_total", 1);
+            uburst_obs::gauge_max("uburst_degrade_level_peak", u64::from(self.level));
         } else if pressure < self.policy.low_watermark && self.level > 0 {
             self.level -= 1;
             self.steps_up += 1;
             self.since_change = 0;
+            uburst_obs::counter_add("uburst_degrade_steps_up_total", 1);
         }
     }
 

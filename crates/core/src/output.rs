@@ -178,6 +178,17 @@ impl ChannelSink {
     fn ship(&mut self, batches: Vec<Batch>) {
         for b in batches {
             let own_source = b.source;
+            if uburst_obs::enabled() {
+                uburst_obs::counter_add("uburst_sink_batches_flushed_total", 1);
+                uburst_obs::counter_add(
+                    "uburst_sink_samples_flushed_total",
+                    b.samples.len() as u64,
+                );
+                // Span duration is the simulated-time extent the batch covers.
+                let ts = &b.samples.ts;
+                let covered = ts.first().zip(ts.last()).map_or(0, |(&f, &l)| l - f);
+                uburst_obs::span_record("campaign/flush", covered);
+            }
             match self.policy {
                 ShipPolicy::Block => match self.tx.send(b) {
                     Ok(()) => self.shipped += 1,
@@ -185,6 +196,7 @@ impl ChannelSink {
                     // campaign; tail samples are lost — counted, not fatal.
                     Err(_) => {
                         self.dropped += 1;
+                        uburst_obs::counter_add("uburst_sink_batches_dropped_total", 1);
                         self.note_shed(own_source);
                     }
                 },
@@ -194,10 +206,12 @@ impl ChannelSink {
                         // Ours got in; a previously shipped batch fell out.
                         self.shipped += 1;
                         self.dropped += 1;
+                        uburst_obs::counter_add("uburst_sink_batches_dropped_total", 1);
                         self.note_shed(evicted.source);
                     }
                     Err(_) => {
                         self.dropped += 1;
+                        uburst_obs::counter_add("uburst_sink_batches_dropped_total", 1);
                         self.note_shed(own_source);
                     }
                 },
@@ -205,6 +219,7 @@ impl ChannelSink {
                     Ok(()) => self.shipped += 1,
                     Err(_) => {
                         self.dropped += 1;
+                        uburst_obs::counter_add("uburst_sink_batches_dropped_total", 1);
                         self.note_shed(own_source);
                     }
                 },

@@ -128,6 +128,10 @@ pub struct PollerStats {
     pub shed_counters: u64,
     /// Polls taken at a degradation level above zero.
     pub degraded_polls: u64,
+    /// Regressed raw reads rejected by the wrap-plausibility guard (a
+    /// stale/snooped value that would otherwise decode as a near-full
+    /// counter wrap; see [`crate::series::WrapDecoder::with_max_step`]).
+    pub wrap_regressions: u64,
 }
 
 impl PollerStats {
@@ -207,6 +211,9 @@ pub struct Poller {
     last_values: Vec<u64>,
     /// The deadline the in-progress/most recent poll was serving.
     deadline: Nanos,
+    /// When the in-progress poll transaction began (its serving deadline);
+    /// retries do not reset it, so completion latency includes backoff.
+    poll_started: Nanos,
     stop_at: Nanos,
     stats: PollerStats,
     /// Read attempt number for the current deadline (0 = first try).
@@ -246,6 +253,7 @@ impl Poller {
             decoders: vec![None; n],
             last_values: vec![0; n],
             deadline: Nanos::ZERO,
+            poll_started: Nanos::ZERO,
             stop_at: Nanos::MAX,
             stats: PollerStats::default(),
             attempt: 0,
@@ -268,12 +276,37 @@ impl Poller {
     /// Attaches a fault injector. Wrap decoders are armed for every
     /// cumulative counter at the plan's register width, so recorded series
     /// stay full-width even on 32-bit banks.
+    ///
+    /// Each decoder's wrap-plausibility guard defaults to half the wrap
+    /// period: a per-read delta in the upper half of the modulus can only
+    /// come from a *regressed* raw value (stale or snooped read), never
+    /// from traffic, so it is clamped rather than decoded as a wrap.
+    /// Tighten the bound with [`Poller::with_wrap_guard`] when the link
+    /// rate is known.
     pub fn with_faults(mut self, injector: FaultInjector) -> Self {
         let bits = injector.plan().counter_bits;
         for (slot, &id) in self.decoders.iter_mut().zip(&self.campaign.counters) {
-            *slot = id.is_cumulative().then(|| WrapDecoder::new(bits));
+            *slot = id.is_cumulative().then(|| {
+                let dec = WrapDecoder::new(bits);
+                let half_period = (dec.mask() / 2).max(1);
+                dec.with_max_step(half_period)
+            });
         }
         self.faults = Some(injector);
+        self
+    }
+
+    /// Tightens every armed decoder's wrap-plausibility guard to the
+    /// largest delta a `link_bps` link can produce between polls (with
+    /// generous slack for missed deadlines and stretched intervals),
+    /// derived via [`crate::series::wrap_guard_threshold`]. A no-op for
+    /// counters without decoders (gauges, or no fault injector attached).
+    pub fn with_wrap_guard(mut self, link_bps: u64) -> Self {
+        let step = crate::series::wrap_guard_threshold(link_bps, self.campaign.interval, 64);
+        for dec in self.decoders.iter_mut().flatten() {
+            let half_period = (dec.mask() / 2).max(1);
+            *dec = dec.clone().with_max_step(step.min(half_period));
+        }
         self
     }
 
@@ -357,6 +390,7 @@ impl Poller {
 
     fn begin_poll(&mut self, ctx: &mut Ctx<'_>) {
         self.attempt = 0;
+        self.poll_started = ctx.now();
         self.active_n = self
             .controller
             .active_counters(self.campaign.counters.len());
@@ -419,7 +453,9 @@ impl Poller {
                 v = faults.filter_value(self.campaign.counters[i], v);
             }
             if let Some(dec) = self.decoders[i].as_mut() {
+                let rejected_before = dec.regressions();
                 v = dec.decode(v);
+                self.stats.wrap_regressions += dec.regressions() - rejected_before;
             }
             self.last_values[i] = v;
         }
@@ -437,8 +473,33 @@ impl Poller {
             // The sample landed after its own interval had elapsed.
             self.stats.late_polls += 1;
         }
+        if uburst_obs::enabled() {
+            self.record_poll_telemetry(now);
+        }
         self.controller.observe(false);
         self.advance_deadline(ctx, now);
+    }
+
+    /// Per-poll latency distributions split by core mode: the raw material
+    /// for the §4.1 per-poll-cost accounting. Names are static so this path
+    /// never formats; outlined so the disabled case costs [`complete_poll`]
+    /// only the recorder's flag check.
+    #[inline(never)]
+    fn record_poll_telemetry(&self, now: Nanos) {
+        let (cost_name, latency_name) = match self.campaign.core_mode {
+            CoreMode::Dedicated => (
+                "uburst_poll_cost_ns{mode=\"dedicated\"}",
+                "uburst_poll_latency_ns{mode=\"dedicated\"}",
+            ),
+            CoreMode::Shared => (
+                "uburst_poll_cost_ns{mode=\"shared\"}",
+                "uburst_poll_latency_ns{mode=\"shared\"}",
+            ),
+        };
+        let latency = now.saturating_sub(self.poll_started).as_nanos();
+        uburst_obs::hist_observe(cost_name, self.plan.cost(self.active_n).as_nanos());
+        uburst_obs::hist_observe(latency_name, latency);
+        uburst_obs::span_record("campaign/poll", latency);
     }
 
     /// A deadline whose read failed through every retry: account it and
@@ -463,10 +524,61 @@ impl Poller {
             self.stats.stopped_at = now;
             self.output.finish();
             self.finished = true;
+            self.record_telemetry();
             return;
         }
         self.deadline = next;
         ctx.timer_at(next, TOKEN_POLL_START);
+    }
+
+    /// Publishes the finished campaign's aggregate accounting into the
+    /// global telemetry registry. Called exactly once per campaign, so
+    /// totals are sums over campaigns — commutative, hence identical
+    /// whatever order parallel campaigns finish in.
+    fn record_telemetry(&self) {
+        if !uburst_obs::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        uburst_obs::counter_add("uburst_poller_polls_total", s.polls);
+        uburst_obs::counter_add("uburst_poller_missed_deadlines_total", s.missed_deadlines);
+        uburst_obs::counter_add("uburst_poller_late_polls_total", s.late_polls);
+        uburst_obs::counter_add("uburst_poller_read_errors_total", s.read_errors);
+        uburst_obs::counter_add("uburst_poller_retries_total", s.retries);
+        uburst_obs::counter_add("uburst_poller_stale_reads_total", s.stale_reads);
+        uburst_obs::counter_add("uburst_poller_shed_counters_total", s.shed_counters);
+        uburst_obs::counter_add("uburst_poller_degraded_polls_total", s.degraded_polls);
+        uburst_obs::counter_add("uburst_poller_wrap_regressions_total", s.wrap_regressions);
+        // Batched-read accounting, derived rather than counted so the
+        // read_planned hot path stays untouched: every completed poll is
+        // exactly one planned batch read of the active prefix, and the
+        // active prefix is the full group minus whatever degradation shed.
+        uburst_obs::counter_add("uburst_readplan_batch_reads_total", s.polls);
+        uburst_obs::counter_add(
+            "uburst_readplan_counters_read_total",
+            (s.polls * self.campaign.counters.len() as u64).saturating_sub(s.shed_counters),
+        );
+        // Busy vs elapsed simulated time by core mode: the §4.1 overhead
+        // split (a dedicated core burns 100% regardless; a shared core is
+        // charged only for its transactions).
+        let mode = match self.campaign.core_mode {
+            CoreMode::Dedicated => "dedicated",
+            CoreMode::Shared => "shared",
+        };
+        let elapsed = s.stopped_at.saturating_sub(s.started_at);
+        uburst_obs::counter_add(
+            &format!("uburst_poller_busy_ns_total{{mode=\"{mode}\"}}"),
+            s.busy.as_nanos(),
+        );
+        uburst_obs::counter_add(
+            &format!("uburst_poller_elapsed_ns_total{{mode=\"{mode}\"}}"),
+            elapsed.as_nanos(),
+        );
+        uburst_obs::gauge_max(
+            "uburst_degrade_level_peak",
+            u64::from(self.controller.level()),
+        );
+        uburst_obs::span_record("campaign", elapsed.as_nanos());
     }
 }
 

@@ -157,6 +157,7 @@ impl Shipper {
     pub fn on_ack(&mut self, ack: AckMsg) {
         debug_assert_eq!(ack.source, self.source, "ack routed to wrong shipper");
         if ack.cum > self.cum_acked {
+            uburst_obs::counter_add("uburst_ship_acked_total", ack.cum - self.cum_acked);
             self.cum_acked = ack.cum;
             self.stats.acked = ack.cum;
             self.ticks_since_progress = 0;
@@ -180,12 +181,14 @@ impl Shipper {
             self.next_seq += 1;
             self.window.push_back((seq, batch.clone()));
             self.stats.transmissions += 1;
+            uburst_obs::counter_add("uburst_ship_transmissions_total", 1);
             out.push(SeqBatch {
                 seq,
                 watermark: self.next_seq,
                 batch,
             });
         }
+        uburst_obs::gauge_max("uburst_ship_window_peak", self.window.len() as u64);
         // Retransmit on timeout.
         if !self.window.is_empty() {
             self.ticks_since_progress += 1;
@@ -197,6 +200,7 @@ impl Shipper {
                         continue;
                     }
                     self.stats.retransmits += 1;
+                    uburst_obs::counter_add("uburst_ship_retransmits_total", 1);
                     out.push(SeqBatch {
                         seq: *seq,
                         watermark: self.next_seq,

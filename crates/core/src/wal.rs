@@ -312,6 +312,8 @@ impl<S: WalStorage> Wal<S> {
             // Close out the full segment: its records must be durable
             // before the writer moves on.
             self.storage.sync()?;
+            uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
+            uburst_obs::counter_add("uburst_wal_rotations_total", 1);
             self.segment += 1;
             self.storage.open_segment(self.segment)?;
             self.storage.append(&segment_header())?;
@@ -323,15 +325,27 @@ impl<S: WalStorage> Wal<S> {
         self.segment_len += framed.len();
         self.total_bytes += framed.len() as u64;
         self.record_ends.push(self.total_bytes);
+        if uburst_obs::enabled() {
+            uburst_obs::counter_add("uburst_wal_appends_total", 1);
+            uburst_obs::counter_add("uburst_wal_bytes_total", framed.len() as u64);
+            // The span's duration is the simulated-time extent the batch
+            // covers — the WAL itself runs on the wall clock, which must
+            // never leak into deterministic telemetry.
+            let ts = &sb.batch.samples.ts;
+            let covered = ts.first().zip(ts.last()).map_or(0, |(&f, &l)| l - f);
+            uburst_obs::span_record("wal/append", covered);
+        }
         let synced = match self.cfg.fsync {
             FsyncPolicy::Always => {
                 self.storage.sync()?;
+                uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
                 true
             }
             FsyncPolicy::EveryN(n) => {
                 self.since_sync += 1;
                 if self.since_sync >= n.max(1) {
                     self.storage.sync()?;
+                    uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
                     self.since_sync = 0;
                     true
                 } else {
@@ -346,6 +360,7 @@ impl<S: WalStorage> Wal<S> {
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.storage.sync()?;
+        uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
         self.since_sync = 0;
         Ok(())
     }
@@ -458,6 +473,14 @@ impl<S: WalStorage> DurableStore<S> {
             synced_cum.insert(source, store.contiguous(source));
         }
         let next_segment = indices.last().map_or(0, |&i| i + 1);
+        if uburst_obs::enabled() {
+            uburst_obs::counter_add("uburst_wal_recovered_records_total", report.records);
+            uburst_obs::counter_add("uburst_wal_recovered_segments_total", report.segments);
+            uburst_obs::counter_add("uburst_wal_torn_tails_total", report.torn_tails);
+            uburst_obs::counter_add("uburst_wal_truncated_bytes_total", report.truncated_bytes);
+            uburst_obs::counter_add("uburst_wal_corrupt_records_total", report.corrupt_records);
+            uburst_obs::counter_add("uburst_wal_recoveries_total", 1);
+        }
         let wal = Wal::start(storage, cfg, next_segment)?;
         Ok((
             DurableStore {

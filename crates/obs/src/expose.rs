@@ -1,0 +1,416 @@
+//! Snapshot rendering: Prometheus text, JSON, and the flamegraph rollup.
+//!
+//! All three renderings iterate `BTreeMap`s, so output is a pure function
+//! of the recorded multiset of updates — the property the telemetry
+//! determinism CI job diffs across thread counts. No wall-clock
+//! timestamps appear anywhere in the output.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::NS_BOUNDS;
+
+/// Immutable view of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket (non-cumulative) counts; the last entry is the
+    /// overflow (`+Inf`) bucket. Bounds are [`NS_BOUNDS`].
+    pub buckets: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Prometheus-style cumulative bucket counts (ends at `count`).
+    pub fn cumulative(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .scan(0u64, |acc, &c| {
+                *acc += c;
+                Some(*acc)
+            })
+            .collect()
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Immutable view of one span path's aggregate stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Completed spans on this path.
+    pub count: u64,
+    /// Total simulated time across them, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// An ordered, immutable view of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Max-aggregated gauges by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub hists: BTreeMap<String, HistSnapshot>,
+    /// Span stats by `/`-separated path.
+    pub spans: BTreeMap<String, SpanSnapshot>,
+}
+
+/// Splits `name{label="x"}` into `("name", Some("label=\"x\""))`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Joins a base name with existing labels plus one extra label pair.
+fn with_label(base: &str, labels: Option<&str>, extra: &str) -> String {
+    match labels {
+        Some(l) => format!("{base}{{{l},{extra}}}"),
+        None => format!("{base}{{{extra}}}"),
+    }
+}
+
+/// Fixed-format human duration used by the rollup: deterministic for a
+/// given input, scaled to s/ms/µs/ns.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot in the Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket{le=...}` series plus `_sum`
+    /// and `_count`; spans emit `uburst_span_{count,total_ns,max_ns}`
+    /// families keyed by a `path` label.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, base: &str, kind: &str| {
+            let line = format!("# TYPE {base} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+
+        for (name, v) in &self.counters {
+            let (base, _) = split_labels(name);
+            type_line(&mut out, base, "counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let (base, _) = split_labels(name);
+            type_line(&mut out, base, "gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.hists {
+            let (base, labels) = split_labels(name);
+            type_line(&mut out, base, "histogram");
+            let cum = h.cumulative();
+            for (i, c) in cum.iter().enumerate() {
+                let le = if i < NS_BOUNDS.len() {
+                    NS_BOUNDS[i].to_string()
+                } else {
+                    "+Inf".to_owned()
+                };
+                let series = with_label(&format!("{base}_bucket"), labels, &format!("le=\"{le}\""));
+                let _ = writeln!(out, "{series} {c}");
+            }
+            let sum_name = match labels {
+                Some(l) => format!("{base}_sum{{{l}}}"),
+                None => format!("{base}_sum"),
+            };
+            let count_name = match labels {
+                Some(l) => format!("{base}_count{{{l}}}"),
+                None => format!("{base}_count"),
+            };
+            let _ = writeln!(out, "{sum_name} {}", h.sum);
+            let _ = writeln!(out, "{count_name} {}", h.count);
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE uburst_span_count counter\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(out, "uburst_span_count{{path=\"{path}\"}} {}", s.count);
+            }
+            out.push_str("# TYPE uburst_span_total_ns counter\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "uburst_span_total_ns{{path=\"{path}\"}} {}",
+                    s.total_ns
+                );
+            }
+            out.push_str("# TYPE uburst_span_max_ns gauge\n");
+            for (path, s) in &self.spans {
+                let _ = writeln!(out, "uburst_span_max_ns{{path=\"{path}\"}} {}", s.max_ns);
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single stable JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {v}", json_escape(k));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": {v}", json_escape(k));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (k, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"buckets\": [{}], \"sum\": {}, \"count\": {}, \"max\": {}}}",
+                json_escape(k),
+                buckets.join(", "),
+                h.sum,
+                h.count,
+                h.max
+            );
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"spans\": {");
+        first = true;
+        for (k, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"total_ns\": {}, \"max_ns\": {}}}",
+                json_escape(k),
+                s.count,
+                s.total_ns,
+                s.max_ns
+            );
+        }
+        out.push_str(if first { "}\n" } else { "\n  }\n" });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Flamegraph-style rollup of the recorded spans: paths nested by
+    /// `/` prefix, each line showing count, total simulated time, and
+    /// self time (total minus direct children).
+    ///
+    /// Ancestor paths that were never recorded directly appear as
+    /// synthetic group nodes whose totals are the sum of their children.
+    pub fn flame_rollup(&self) -> String {
+        if self.spans.is_empty() {
+            return String::new();
+        }
+        // Every node that must appear: recorded paths plus all ancestors.
+        let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new(); // path -> (count, total)
+        for (path, s) in &self.spans {
+            totals
+                .entry(path.clone())
+                .and_modify(|e| {
+                    e.0 += s.count;
+                    e.1 += s.total_ns;
+                })
+                .or_insert((s.count, s.total_ns));
+            let mut p = path.as_str();
+            while let Some((parent, _)) = p.rsplit_once('/') {
+                let e = totals.entry(parent.to_owned()).or_insert((0, 0));
+                if !self.spans.contains_key(parent) {
+                    // Synthetic group: aggregate the child into it.
+                    e.0 += s.count;
+                    e.1 += s.total_ns;
+                }
+                p = parent;
+            }
+        }
+        // Direct-children totals, for self-time.
+        let mut child_total: BTreeMap<&str, u64> = BTreeMap::new();
+        for (path, &(_, total)) in &totals {
+            if let Some((parent, _)) = path.rsplit_once('/') {
+                *child_total.entry(parent).or_default() += total;
+            }
+        }
+        let mut out = String::new();
+        for (path, &(count, total)) in &totals {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let self_ns =
+                total.saturating_sub(child_total.get(path.as_str()).copied().unwrap_or(0));
+            let indent = "  ".repeat(depth);
+            let label = format!("{indent}{name}");
+            let _ = writeln!(
+                out,
+                "  {label:<28} count {count:>9}  total {:>12}  self {:>12}",
+                fmt_ns(total),
+                fmt_ns(self_ns)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_split_and_merge() {
+        assert_eq!(split_labels("a_total"), ("a_total", None));
+        assert_eq!(
+            split_labels("a_ns{mode=\"shared\"}"),
+            ("a_ns", Some("mode=\"shared\""))
+        );
+        assert_eq!(
+            with_label("a_ns_bucket", Some("mode=\"x\""), "le=\"250\""),
+            "a_ns_bucket{mode=\"x\",le=\"250\"}"
+        );
+        assert_eq!(
+            with_label("a_ns_bucket", None, "le=\"+Inf\""),
+            "a_ns_bucket{le=\"+Inf\"}"
+        );
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(5), "5ns");
+        assert_eq!(fmt_ns(2_500), "2.500us");
+        assert_eq!(fmt_ns(1_234_567), "1.235ms");
+        assert_eq!(fmt_ns(16_000_000_000), "16.000s");
+    }
+
+    #[test]
+    fn json_is_well_formed_for_empty_and_escaped_names() {
+        let empty = Snapshot::default();
+        let j = empty.to_json();
+        assert!(j.contains("\"counters\": {}"));
+        let mut s = Snapshot::default();
+        s.counters.insert("weird{q=\"a\\b\"}".into(), 1);
+        let j = s.to_json();
+        assert!(j.contains("weird{q=\\\"a\\\\b\\\"}"));
+    }
+
+    #[test]
+    fn flame_rollup_nests_and_computes_self_time() {
+        let mut s = Snapshot::default();
+        s.spans.insert(
+            "campaign".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 1_000,
+                max_ns: 600,
+            },
+        );
+        s.spans.insert(
+            "campaign/poll".into(),
+            SpanSnapshot {
+                count: 10,
+                total_ns: 700,
+                max_ns: 90,
+            },
+        );
+        let flame = s.flame_rollup();
+        let lines: Vec<String> = flame
+            .lines()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+            .collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("campaign"));
+        assert!(lines[0].contains("self 300ns"), "{}", lines[0]);
+        assert!(lines[1].contains("poll"));
+        assert!(lines[1].contains("self 700ns"));
+    }
+
+    #[test]
+    fn flame_rollup_synthesizes_missing_parents() {
+        let mut s = Snapshot::default();
+        s.spans.insert(
+            "wal/append".into(),
+            SpanSnapshot {
+                count: 4,
+                total_ns: 400,
+                max_ns: 100,
+            },
+        );
+        s.spans.insert(
+            "wal/fsync".into(),
+            SpanSnapshot {
+                count: 2,
+                total_ns: 100,
+                max_ns: 50,
+            },
+        );
+        let flame = s.flame_rollup();
+        let lines: Vec<String> = flame
+            .lines()
+            .map(|l| l.split_whitespace().collect::<Vec<_>>().join(" "))
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("wal"));
+        assert!(lines[0].contains("total 500ns"));
+        assert!(lines[0].contains("self 0ns"), "group node has no self time");
+    }
+}

@@ -1,0 +1,263 @@
+//! Self-observability for the collection pipeline.
+//!
+//! The paper's framework measures *itself* as much as the network: §4.1
+//! reports the poller's CPU cost, missed-interval rates, and the
+//! dedicated-vs-shared-core tradeoff, because a µs-scale measurement
+//! system is only trustworthy if its own overhead is accounted. This
+//! crate is the reproduction's version of that discipline: a metrics
+//! registry, lightweight tracing spans, and text/JSON exposition that
+//! every pipeline stage (poller → collector → WAL → shipper → campaign
+//! pool) reports into.
+//!
+//! ## Determinism contract
+//!
+//! Snapshots must be **byte-identical across `UBURST_THREADS`** (CI diffs
+//! them), which forbids anything order- or wall-clock-dependent. The
+//! registry therefore only offers commutative, associative aggregations:
+//!
+//! * counters — atomic add;
+//! * gauges — atomic max (`fetch_max`), the only order-free "last value";
+//! * histograms — fixed bucket bounds, atomic per-bucket counts, an
+//!   atomic sum and max;
+//! * spans — count / total / max of **simulated-time** durations.
+//!
+//! Values recorded are always simulated time or event counts, never
+//! wall-clock readings, and exposition renders from `BTreeMap`s so output
+//! order is independent of insertion order. Any interleaving of the same
+//! multiset of updates yields the same snapshot.
+//!
+//! ## Zero cost when disabled
+//!
+//! Like the `log` crate, the recorder is a process-global that defaults
+//! to **off**. Every recording entry point is gated on one relaxed
+//! atomic load; when disabled it returns before touching any lock or
+//! map, so instrumented hot paths (the poller's per-poll bookkeeping,
+//! planned batch reads) stay within the `ext_bench_check` tripwire. Call
+//! [`enable`] in a harness or test to start collecting and [`snapshot`]
+//! to render what was recorded.
+//!
+//! ```
+//! uburst_obs::enable();
+//! uburst_obs::counter_add("uburst_demo_events_total", 3);
+//! uburst_obs::span_record("campaign/poll", 25_000);
+//! let snap = uburst_obs::snapshot();
+//! assert!(snap.to_prometheus().contains("uburst_demo_events_total 3"));
+//! # uburst_obs::reset();
+//! # uburst_obs::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod registry;
+
+pub use expose::{HistSnapshot, Snapshot, SpanSnapshot};
+pub use registry::{Counter, Histogram, Registry, SpanStat, NS_BOUNDS};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Whether the global recorder is collecting. Relaxed is enough: the flag
+/// is a sampling switch, not a synchronization point, and instrumentation
+/// sites tolerate observing a stale value for a few operations.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry (created on first use, even when disabled).
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Turns the global recorder on. Idempotent.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the global recorder off. Already-registered metrics keep their
+/// values; they simply stop accumulating.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the recorder is currently collecting. This is the single load
+/// every instrumentation site pays when telemetry is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `n` to the counter `name`, creating it at zero on first use.
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if enabled() {
+        registry().counter(name).add(n);
+    }
+}
+
+/// Raises the gauge `name` to `v` if `v` exceeds its current value.
+///
+/// Max is the only "current value" aggregation that is independent of
+/// update order, which the determinism contract requires; it suits the
+/// high-watermark quantities the pipeline exposes (peak degradation
+/// level, peak ship window, peak WAL segment count).
+#[inline]
+pub fn gauge_max(name: &str, v: u64) {
+    if enabled() {
+        registry().gauge_max(name, v);
+    }
+}
+
+/// Records `v` (nanoseconds of simulated time, or any u64 measure) into
+/// the fixed-bucket histogram `name`.
+#[inline]
+pub fn hist_observe(name: &str, v: u64) {
+    if enabled() {
+        registry().histogram(name).observe(v);
+    }
+}
+
+/// Records one completed span on `path` with a **simulated-time**
+/// duration of `dur_ns` nanoseconds.
+///
+/// Paths are `/`-separated (e.g. `campaign/poll/read`); the snapshot's
+/// flamegraph rollup nests children under parents by path prefix. Spans
+/// deliberately take an explicit duration instead of an RAII guard:
+/// simulated clocks live in the simulator, not in a thread-local, and an
+/// explicit handoff keeps wall-clock time out of the registry by
+/// construction.
+#[inline]
+pub fn span_record(path: &str, dur_ns: u64) {
+    if enabled() {
+        registry().span(path).record(dur_ns);
+    }
+}
+
+/// Renders an immutable snapshot of everything recorded so far.
+pub fn snapshot() -> Snapshot {
+    registry().snapshot()
+}
+
+/// Clears every metric and span. Intended for tests and multi-phase
+/// harnesses that want per-phase snapshots from one process.
+pub fn reset() {
+    registry().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; tests serialize on this.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn fresh() -> std::sync::MutexGuard<'static, ()> {
+        let guard = LOCK.lock().unwrap();
+        reset();
+        enable();
+        guard
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = fresh();
+        disable();
+        counter_add("uburst_test_off_total", 5);
+        hist_observe("uburst_test_off_ns", 100);
+        span_record("off/span", 10);
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.hists.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_expose() {
+        let _g = fresh();
+        counter_add("uburst_test_events_total", 2);
+        counter_add("uburst_test_events_total", 3);
+        let snap = snapshot();
+        assert_eq!(snap.counters["uburst_test_events_total"], 5);
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE uburst_test_events_total counter"));
+        assert!(text.contains("uburst_test_events_total 5"));
+        disable();
+    }
+
+    #[test]
+    fn gauge_keeps_the_maximum() {
+        let _g = fresh();
+        gauge_max("uburst_test_level", 2);
+        gauge_max("uburst_test_level", 7);
+        gauge_max("uburst_test_level", 4);
+        assert_eq!(snapshot().gauges["uburst_test_level"], 7);
+        disable();
+    }
+
+    #[test]
+    fn histogram_buckets_sum_and_max() {
+        let _g = fresh();
+        hist_observe("uburst_test_cost_ns", 300);
+        hist_observe("uburst_test_cost_ns", 30_000);
+        hist_observe("uburst_test_cost_ns", u64::MAX / 2);
+        let snap = snapshot();
+        let h = &snap.hists["uburst_test_cost_ns"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.max, u64::MAX / 2);
+        assert_eq!(h.sum, 300 + 30_000 + u64::MAX / 2);
+        // Cumulative bucket counts end at the total.
+        assert_eq!(*h.cumulative().last().unwrap(), 3);
+        disable();
+    }
+
+    #[test]
+    fn snapshot_is_update_order_independent() {
+        let _g = fresh();
+        let updates: &[(&str, u64)] = &[
+            ("uburst_a_total", 1),
+            ("uburst_b_total", 10),
+            ("uburst_a_total", 2),
+        ];
+        for &(n, v) in updates {
+            counter_add(n, v);
+            hist_observe("uburst_order_ns", v);
+        }
+        let fwd = snapshot();
+        reset();
+        for &(n, v) in updates.iter().rev() {
+            counter_add(n, v);
+            hist_observe("uburst_order_ns", v);
+        }
+        let rev = snapshot();
+        assert_eq!(fwd.to_prometheus(), rev.to_prometheus());
+        assert_eq!(fwd.to_json(), rev.to_json());
+        disable();
+    }
+
+    #[test]
+    fn concurrent_updates_are_deterministic() {
+        let _g = fresh();
+        let run = || {
+            reset();
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    s.spawn(move || {
+                        for i in 0..1000u64 {
+                            counter_add("uburst_mt_total", 1);
+                            hist_observe("uburst_mt_ns", (t * 1000 + i) % 70_000);
+                            span_record("mt/work", 25_000);
+                        }
+                    });
+                }
+            });
+            snapshot().to_prometheus()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.contains("uburst_mt_total 8000"));
+        disable();
+    }
+}

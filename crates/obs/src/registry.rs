@@ -1,0 +1,250 @@
+//! The metric store: named counters, gauges, histograms, and span stats.
+//!
+//! Every aggregation here is commutative and associative over atomic u64
+//! cells, which is what makes snapshots independent of thread count and
+//! scheduling (see the crate docs for the full determinism contract).
+//! Lookup is a read-locked `BTreeMap` probe; creation takes the write
+//! lock once per name. Callers on genuinely hot paths can clone the
+//! returned `Arc` handle and skip the map entirely.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::expose::{HistSnapshot, Snapshot, SpanSnapshot};
+
+/// Fixed histogram bucket upper bounds, in nanoseconds of simulated time.
+///
+/// Spans the pipeline's dynamic range: sub-µs bus transactions through
+/// second-scale campaign windows. Fixed (rather than per-metric) bounds
+/// keep every histogram mergeable and every snapshot schema-stable.
+pub const NS_BOUNDS: [u64; 16] = [
+    250,
+    500,
+    1_000,
+    2_500,
+    5_000,
+    10_000,
+    25_000,
+    50_000,
+    100_000,
+    250_000,
+    500_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+];
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram with atomic bucket counts, sum, and max.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Per-bucket counts; `counts[NS_BOUNDS.len()]` is the overflow
+    /// (`+Inf`) bucket.
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..=NS_BOUNDS.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = NS_BOUNDS.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    /// Records one completed span.
+    pub fn record(&self, dur_ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(dur_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(dur_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Named metric store. One lives as the process global (see
+/// [`crate::registry`]); tests may build private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
+}
+
+/// Read-mostly get-or-insert: one read-lock probe on the hot path, a
+/// write lock only the first time a name is seen.
+fn intern<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().unwrap().get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().unwrap();
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        intern(&self.counters, name)
+    }
+
+    /// Raises the gauge `name` to `v` if larger (max aggregation).
+    pub fn gauge_max(&self, name: &str, v: u64) {
+        intern(&self.gauges, name).fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.hists, name)
+    }
+
+    /// The span-stat accumulator for `path`.
+    pub fn span(&self, path: &str) -> Arc<SpanStat> {
+        intern(&self.spans, path)
+    }
+
+    /// Renders everything into an immutable, ordered snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            hists: self
+                .hists
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            spans: self
+                .spans
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric and span.
+    pub fn reset(&self) {
+        self.counters.write().unwrap().clear();
+        self.gauges.write().unwrap().clear();
+        self.hists.write().unwrap().clear();
+        self.spans.write().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_sorted_and_bucket_edges_are_inclusive() {
+        assert!(NS_BOUNDS.windows(2).all(|w| w[0] < w[1]));
+        let h = Histogram::default();
+        h.observe(250); // exactly on the first bound → first bucket (le=250)
+        h.observe(251);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_everything_above_the_last_bound() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn private_registry_does_not_touch_the_global() {
+        let r = Registry::new();
+        r.counter("uburst_private_total").add(9);
+        assert_eq!(r.snapshot().counters["uburst_private_total"], 9);
+        assert!(!crate::snapshot()
+            .counters
+            .contains_key("uburst_private_total"));
+    }
+}

@@ -12,6 +12,10 @@ use uburst::prelude::*;
 use uburst::telemetry::{BatchPolicy, ChannelSink, Collector, Poller, SourceId};
 
 fn main() {
+    // Record the pipeline's own behaviour (poll costs, batch flushes,
+    // collector ingest) alongside the measurement data it produces.
+    uburst::obs::enable();
+
     // A fleet of three measured racks, one per application type.
     let fleet: Vec<(RackType, u64)> = vec![
         (RackType::Web, 11),
@@ -95,4 +99,13 @@ fn main() {
         std::fs::write(&path, &text).expect("write csv");
         println!("wrote {path}");
     }
+
+    // The pipeline watching itself: simulated-time latency rollup plus the
+    // full metric set, Prometheus-style. Byte-identical across runs — every
+    // aggregate is commutative and clocked on simulated time.
+    let snap = uburst::obs::snapshot();
+    println!("\npipeline telemetry (simulated time):");
+    print!("{}", snap.flame_rollup());
+    println!("\nmetrics:");
+    print!("{}", snap.to_prometheus());
 }

@@ -15,6 +15,10 @@
 //! * [`workloads`] — the Web / Cache / Hadoop rack traffic models.
 //! * [`analysis`] — the paper's statistics (burst extraction, ECDFs,
 //!   Markov fits, KS tests, correlation, MAD, resampling).
+//! * [`obs`] — the pipeline's self-observability layer (counters, gauges,
+//!   latency histograms, and tracing spans recorded in simulated time;
+//!   deterministic snapshots with Prometheus/JSON exposition). Disabled
+//!   by default; call [`obs::enable`] to record.
 //!
 //! ## Quickstart
 //!
@@ -56,6 +60,7 @@
 pub use uburst_analysis as analysis;
 pub use uburst_asic as asic;
 pub use uburst_core as telemetry;
+pub use uburst_obs as obs;
 pub use uburst_sim as sim;
 pub use uburst_workloads as workloads;
 
