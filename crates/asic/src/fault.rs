@@ -144,6 +144,39 @@ impl FaultPlan {
         self
     }
 
+    /// Derives the fault plan for one switch of a fleet campaign.
+    ///
+    /// Every switch gets its own seed (same fleet seed, different switch,
+    /// different weather), and a deterministic `flaky_rate` fraction of
+    /// the fleet gets a flaky profile — transient bus failures, latency
+    /// spikes, stale reads — while the rest run benign. *Which* switches
+    /// are flaky is a pure function of `(fleet_seed, switch_index)`, so a
+    /// faulted fleet is reproducible from its printed seed and identical
+    /// regardless of the order switches are built in.
+    pub fn for_fleet_switch(fleet_seed: u64, switch_index: u32, flaky_rate: f64) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&flaky_rate),
+            "probability out of range"
+        );
+        // splitmix64 finalizer over (seed, index): decorrelates adjacent
+        // switch indices so "flaky" is not clustered by rack numbering.
+        let mut h = fleet_seed ^ (switch_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        let plan = FaultPlan::none(h);
+        let draw = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if draw < flaky_rate {
+            plan.with_transient_failure(0.10)
+                .with_latency_spike(0.05)
+                .with_stale_read(0.02)
+        } else {
+            plan
+        }
+    }
+
     /// The value mask implied by [`FaultPlan::counter_bits`].
     pub fn value_mask(&self) -> u64 {
         if self.counter_bits >= 64 {
@@ -359,6 +392,27 @@ mod tests {
             let extra = inj.pre_read().unwrap();
             assert!(extra >= plan.spike_min && extra < plan.spike_max);
         }
+    }
+
+    #[test]
+    fn fleet_plans_are_deterministic_and_rate_bounded() {
+        // Rate endpoints are exact.
+        for i in 0..64 {
+            assert!(FaultPlan::for_fleet_switch(17, i, 0.0).is_benign());
+            assert!(!FaultPlan::for_fleet_switch(17, i, 1.0).is_benign());
+        }
+        // Same (seed, index, rate) → same plan; different index → at
+        // least a different private seed.
+        let a = FaultPlan::for_fleet_switch(99, 7, 0.3);
+        assert_eq!(a, FaultPlan::for_fleet_switch(99, 7, 0.3));
+        assert_ne!(a.seed, FaultPlan::for_fleet_switch(99, 8, 0.3).seed);
+        // Observed flaky fraction tracks the requested rate.
+        let n = 2000u32;
+        let flaky = (0..n)
+            .filter(|&i| !FaultPlan::for_fleet_switch(5, i, 0.2).is_benign())
+            .count() as f64
+            / n as f64;
+        assert!((0.15..=0.25).contains(&flaky), "observed {flaky}");
     }
 
     #[test]

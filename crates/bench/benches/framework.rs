@@ -150,6 +150,47 @@ fn bench_collector(rec: &mut BenchRecorder) {
     });
 }
 
+fn bench_fleet_ingest(rec: &mut BenchRecorder) {
+    use uburst_core::fleet::{run_fleet, FleetConfig, RoundInput, SwitchStream};
+    use uburst_core::link::LinkPlan;
+    // Host cost of the whole aggregation tier: 64 switches x 16 rounds of
+    // 64-sample batches over mildly lossy links (retransmits included),
+    // merged through per-switch sequence spaces into one store.
+    let make_streams = || -> Vec<SwitchStream> {
+        (0..64u32)
+            .map(|sw| {
+                let rounds = (0..16u64)
+                    .map(|r| {
+                        let mut s = Series::new();
+                        for i in 0..64u64 {
+                            s.push(Nanos(1 + r * 64_000 + i * 1_000), r * 64 + i);
+                        }
+                        RoundInput {
+                            batches: vec![Batch {
+                                source: SourceId(sw),
+                                campaign: "bench".into(),
+                                counter: CounterId::TxBytes(PortId(0)),
+                                samples: s,
+                            }],
+                            degraded: false,
+                        }
+                    })
+                    .collect();
+                SwitchStream {
+                    source: SourceId(sw),
+                    link: LinkPlan::default(),
+                    link_seed: 0xB0B ^ sw as u64,
+                    rounds,
+                }
+            })
+            .collect()
+    };
+    bench(rec, "fleet_ingest_64sw_16r", 20, || {
+        let out = run_fleet(make_streams(), &FleetConfig::default());
+        out.store.total_samples() as u64
+    });
+}
+
 fn main() {
     let mut rec = BenchRecorder::new("framework");
     bench_event_queue(&mut rec);
@@ -157,5 +198,6 @@ fn main() {
     bench_poller_loop(&mut rec);
     bench_batcher(&mut rec);
     bench_collector(&mut rec);
+    bench_fleet_ingest(&mut rec);
     rec.flush();
 }

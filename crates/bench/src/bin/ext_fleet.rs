@@ -1,0 +1,67 @@
+//! Extension experiment: fleet-scale collection with partial failure.
+//!
+//! The paper ran its framework on thousands of production ToRs, where the
+//! interesting failure mode is partial: a few percent of switches flaky,
+//! one uplink black-holed, an aggregator stalling. This harness runs the
+//! whole pipeline at fleet width — N independent per-switch rack
+//! simulations fanned out on the worker pool, shipped over per-switch
+//! lossy links through regional aggregators into one merged store — and
+//! reproduces the cross-rack readouts (ECMP uplink balance, inter-rack
+//! correlation) at several injected failure rates. Every report carries
+//! the coverage ledger saying which switches (and what fraction of their
+//! samples) the figures include, plus the fleet's `uburst-obs` rollup.
+//!
+//! Deterministic from the fleet seed: the same report prints byte for
+//! byte under any `UBURST_THREADS` (CI diffs it).
+//!
+//! Run with `cargo run --release -p uburst-bench --bin ext_fleet`.
+//! `UBURST_FLEET_SWITCHES` overrides the fleet width (default 200; CI
+//! uses 32 to stay fast).
+
+use uburst_bench::fleet::{render_report, run_fleet_spec, FleetSpec};
+use uburst_bench::Scale;
+
+const FLEET_SEED: u64 = 0x000F_1EE7_CAFE;
+
+/// Injected flaky-switch rates swept by the experiment.
+const RATES: [f64; 3] = [0.0, 0.05, 0.20];
+
+fn fleet_width() -> u32 {
+    match std::env::var("UBURST_FLEET_SWITCHES") {
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("UBURST_FLEET_SWITCHES={s:?} not a positive integer; using 200");
+                200
+            }
+        },
+        Err(_) => 200,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = fleet_width();
+    uburst_obs::enable();
+    println!(
+        "extension: fleet-scale collection with partial-failure tolerance ({} scale)",
+        scale.label()
+    );
+    println!("{n} switches per fleet, rack types rotating Web/Cache/Hadoop, seed {FLEET_SEED:#x}");
+    println!("flaky switches poll through a faulty ASIC bus and ship over a hostile link");
+
+    for rate in RATES {
+        // Fresh telemetry per fleet so the rollup below is this fleet's.
+        uburst_obs::reset();
+        let spec = FleetSpec::new(n, FLEET_SEED, rate, scale);
+        let run = run_fleet_spec(&spec);
+        println!("\n=== fleet at {:.0}% flaky rate ===\n", rate * 100.0);
+        print!("{}", render_report(&run));
+        let rollup = uburst_obs::snapshot().prefix_rollup("uburst_fleet_");
+        if rollup.is_empty() {
+            println!("\nobs rollup (uburst_fleet_*): <empty>");
+        } else {
+            println!("\nobs rollup (uburst_fleet_*):\n{rollup}");
+        }
+    }
+}

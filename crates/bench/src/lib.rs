@@ -15,6 +15,7 @@
 pub mod benchjson;
 pub mod campaign;
 pub mod figures;
+pub mod fleet;
 pub mod pearson_pool;
 pub mod pool;
 pub mod report;
@@ -24,6 +25,9 @@ pub mod scale;
 pub use campaign::{
     measure_buffer_and_ports, measure_port_groups, measure_single_port, port_bps,
     representative_port, run_campaign_hardened, CampaignRun, CampaignSpec, NetSnapshot,
+};
+pub use fleet::{
+    render_report, run_fleet_spec, run_fleet_spec_on, FleetRun, FleetSpec, SwitchMeta,
 };
 pub use pearson_pool::{correlation_matrix_pooled, correlation_matrix_pooled_on};
 pub use pool::{run_jobs, run_jobs_on, run_parallel, run_parallel_on};

@@ -1,0 +1,86 @@
+//! Fleet-tier contracts: thread-count invariance of the full fleet
+//! report, and partial-failure accounting (quarantined switches are
+//! excluded *and* accounted, never silently dropped).
+
+use uburst_bench::fleet::{render_report, run_fleet_spec_on, FleetSpec};
+use uburst_bench::Scale;
+use uburst_core::fleet::HealthState;
+use uburst_sim::time::Nanos;
+
+/// A cheap fleet: few switches, short campaigns, coarse interval.
+fn tiny(n: u32, flaky_rate: f64) -> FleetSpec {
+    let mut spec = FleetSpec::new(n, 0x77_001, flaky_rate, Scale::Quick);
+    spec.interval = Nanos::from_micros(100);
+    spec.span = Nanos::from_millis(5);
+    spec.rounds = 6;
+    spec
+}
+
+#[test]
+fn fleet_report_is_thread_count_invariant_under_faults() {
+    // The hard case: a faulted fleet (flaky switches, hostile links,
+    // quarantines firing) must still render byte-identically whatever
+    // the worker count.
+    let spec = tiny(6, 0.5);
+    let sequential = render_report(&run_fleet_spec_on(1, &spec));
+    let parallel = render_report(&run_fleet_spec_on(4, &spec));
+    assert_eq!(
+        sequential, parallel,
+        "fleet report diverged across thread counts"
+    );
+    assert!(
+        sequential.contains("coverage:"),
+        "report carries a coverage ledger"
+    );
+}
+
+#[test]
+fn fault_free_fleet_has_full_coverage() {
+    let spec = tiny(5, 0.0);
+    let run = run_fleet_spec_on(2, &spec);
+    let cov = &run.outcome.coverage;
+    assert_eq!(cov.switches.len(), 5);
+    assert_eq!(cov.included(), 5);
+    assert_eq!(cov.sample_fraction(), 1.0);
+    assert!(cov
+        .switches
+        .iter()
+        .all(|s| s.state == HealthState::Healthy && s.undelivered() == 0));
+    // Samples actually landed in the merged store.
+    assert!(run.outcome.store.total_samples() > 0);
+    let report = render_report(&run);
+    assert!(report.contains("5/5 switches included"));
+    // The correlation checks are statistical and need the full-size
+    // campaign's sample counts; this tiny fleet asserts the structural
+    // ones (coverage and accounting) pass.
+    assert!(report.contains("[ok] fault-free fleet has full coverage"));
+    assert!(report.contains("[ok] every produced batch lands in exactly one coverage column"));
+}
+
+#[test]
+fn all_flaky_fleet_is_quarantined_excluded_and_accounted() {
+    // flaky_rate 1.0 deals every switch the flaky profile: degradation
+    // signals on every round drive each lane Healthy → Degraded →
+    // Quarantined, and every produced batch must still be accounted.
+    let spec = tiny(4, 1.0);
+    let run = run_fleet_spec_on(2, &spec);
+    let cov = &run.outcome.coverage;
+    assert!(run.switches.iter().all(|m| m.flaky));
+    assert_eq!(cov.included(), 0);
+    for s in &cov.switches {
+        assert_eq!(s.state, HealthState::Quarantined);
+        assert!(
+            s.excluded > 0,
+            "quarantined rounds are accounted as excluded"
+        );
+        assert_eq!(
+            s.produced,
+            s.stored + s.excluded + s.refused + s.undelivered(),
+            "coverage columns tile produced exactly"
+        );
+    }
+    assert!(cov.sample_fraction() < 1.0);
+    let text = cov.to_string();
+    assert!(text.contains("0/4 switches included"));
+    assert!(text.contains("quarantined"));
+}

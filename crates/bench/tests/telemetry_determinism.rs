@@ -134,10 +134,11 @@ fn crash_and_resume(budget: u64) -> String {
         ShipperConfig {
             window: 4,
             rto_ticks: 2,
+            ..ShipperConfig::default()
         },
     );
     for i in 0..16 {
-        shipper.offer(make_batch(i));
+        shipper.offer(make_batch(i)).expect("under outstanding cap");
     }
 
     // Direct shipper -> store loop (no lossy link: the crash is the only

@@ -45,6 +45,39 @@ impl fmt::Display for PollError {
 
 impl std::error::Error for PollError {}
 
+/// Errors raised by the sequenced shipping layer ([`crate::ship`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipError {
+    /// The shipper's outstanding-batch memory (in-flight window plus
+    /// untransmitted backlog) is at its configured cap and the offered
+    /// batch was refused. This is what a stalled aggregator looks like
+    /// from the switch: the caller must shed (and account) the batch
+    /// rather than buffer without bound.
+    WindowExhausted {
+        /// The source whose shipper is saturated.
+        source: crate::batch::SourceId,
+        /// Outstanding batches (window + backlog) at refusal time.
+        outstanding: usize,
+    },
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::WindowExhausted {
+                source,
+                outstanding,
+            } => write!(
+                f,
+                "shipper for source {} exhausted: {outstanding} batches outstanding",
+                source.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
 /// Errors raised while starting or stopping a [`crate::Collector`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CollectorError {

@@ -1,0 +1,737 @@
+//! Fleet-scale collection with graceful partial failure.
+//!
+//! The paper's framework polled thousands of ToRs; every campaign in this
+//! repo so far measured one. This module is the aggregation tier for the
+//! jump: N switches, each shipping sequenced batches over its own lossy
+//! link ([`crate::link`]) through a **regional aggregator** into one
+//! global [`DurableStore`] — per-switch sequence spaces merged by the
+//! go-back-N receiver, exactly the PR-3 shipping protocol fanned out.
+//!
+//! At fleet scale the interesting failure is partial: 3% of switches
+//! flaky, one rack's uplink black-holed, an aggregator stalling. Every
+//! switch therefore carries an explicit health state machine
+//! ([`HealthState`]: Healthy → Degraded → Quarantined → Recovered) driven
+//! by switch-side degradation signals and aggregator-side
+//! deadline/straggler detection, with bounded retry+backoff probes for
+//! quarantined lanes. The headline property is that a figure computed
+//! under partial failure *says so*: every [`FleetOutcome`] carries a
+//! [`CoverageLedger`] annotating which switches (and what fraction of
+//! their samples) the data includes, per health state — excluded and
+//! accounted, never silently dropped.
+//!
+//! The module is simulation-agnostic: it consumes per-switch **round
+//! streams** of already-cut [`Batch`]es ([`SwitchStream`]) so the
+//! orchestration layer can produce them however it likes (the bench crate
+//! fans per-switch simulations out on its worker pool, then pumps this
+//! aggregation tier single-threaded in switch order — which is what keeps
+//! fleet reports byte-identical across `UBURST_THREADS`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::batch::{Batch, SourceId};
+use crate::link::{LinkPlan, LossyLink};
+use crate::ship::{AckMsg, SeqBatch, Shipper, ShipperConfig};
+use crate::store::SampleStore;
+use crate::wal::{DurableStore, FsyncPolicy, MemStorage, WalConfig};
+
+/// One switch's health as seen by the fleet controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Delivering on deadline with acceptable coverage.
+    Healthy,
+    /// Recent bad rounds (degradation signal, refusals, straggling, or a
+    /// coverage miss) but still in service.
+    Degraded,
+    /// Taken out of service after too many consecutive bad rounds. Probed
+    /// with bounded backoff; its rounds are excluded *and accounted*.
+    Quarantined,
+    /// Back in service after a clean streak — behaves as Healthy, but the
+    /// label survives so coverage reports show the round trip.
+    Recovered,
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Quarantined => "quarantined",
+            HealthState::Recovered => "recovered",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Tuning for the per-switch health state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Known-missing fraction of a source's assigned batches above which a
+    /// round counts as bad (receiver-side coverage signal).
+    pub miss_watermark: f64,
+    /// Rounds a switch may hold outstanding batches without its contiguous
+    /// prefix advancing before it counts as a straggler (aggregator-side
+    /// deadline signal).
+    pub deadline_rounds: u32,
+    /// Consecutive bad rounds before a Degraded switch is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive clean rounds before a switch rejoins (Degraded →
+    /// Healthy, or Quarantined → Recovered via probes).
+    pub rejoin_after: u32,
+    /// Base spacing (rounds) between quarantine probes; doubles per failed
+    /// probe (capped) — bounded retry with backoff.
+    pub probe_backoff: u32,
+    /// Probes granted before a quarantined switch is left out for good.
+    pub max_probes: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            miss_watermark: 0.25,
+            deadline_rounds: 3,
+            quarantine_after: 3,
+            rejoin_after: 2,
+            probe_backoff: 2,
+            max_probes: 8,
+        }
+    }
+}
+
+/// One round of input from one switch's poller.
+#[derive(Debug, Clone, Default)]
+pub struct RoundInput {
+    /// Batches the poller cut this round.
+    pub batches: Vec<Batch>,
+    /// Switch-side degradation signal for the round (the PR-1 degradation
+    /// controller shed or stretched — the poller knows it is unhealthy
+    /// before the aggregator can).
+    pub degraded: bool,
+}
+
+/// Everything the fleet needs to know about one switch: identity, the
+/// link it ships over, and its per-round output.
+#[derive(Debug, Clone)]
+pub struct SwitchStream {
+    /// The switch (per-switch sequence space key).
+    pub source: SourceId,
+    /// Fault model for this switch's uplink to its regional aggregator.
+    pub link: LinkPlan,
+    /// Seed for the link's fault draws (derive per switch: same fleet
+    /// seed, different switches, different weather).
+    pub link_seed: u64,
+    /// Batches cut per round, in round order.
+    pub rounds: Vec<RoundInput>,
+}
+
+/// Fleet-level tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Per-switch shipper tuning (window, RTO, outstanding cap).
+    pub shipper: ShipperConfig,
+    /// Health state machine tuning.
+    pub health: HealthPolicy,
+    /// Regional aggregators sharding the fleet (switch → region by
+    /// `source.0 % regions`). Must be nonzero.
+    pub regions: usize,
+    /// Transport ticks pumped per round (shipper → link → store → ack).
+    pub ticks_per_round: u32,
+    /// Extra data-free rounds at the end to let retransmits drain.
+    pub drain_rounds: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shipper: ShipperConfig::default(),
+            health: HealthPolicy::default(),
+            regions: 4,
+            ticks_per_round: 8,
+            drain_rounds: 6,
+        }
+    }
+}
+
+/// Coverage accounting for one switch: where every batch its poller
+/// produced ended up.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchCoverage {
+    /// The switch.
+    pub source: SourceId,
+    /// Final health state.
+    pub state: HealthState,
+    /// Batches the poller produced across all rounds.
+    pub produced: u64,
+    /// Batches merged into the global store.
+    pub stored: u64,
+    /// Batches the receiver knows were assigned but never got (gap
+    /// ledger). A fully black-holed switch shows up in `undelivered`
+    /// instead — the receiver never learned its watermark.
+    pub missing: u64,
+    /// Batches never offered because the switch was quarantined.
+    pub excluded: u64,
+    /// Offers refused by the shipper's outstanding cap (shed at source).
+    pub refused: u64,
+    /// Times this switch was quarantined.
+    pub quarantines: u64,
+    /// Times it rejoined after quarantine.
+    pub rejoins: u64,
+}
+
+impl SwitchCoverage {
+    /// Fraction of produced batches that made it into the store.
+    pub fn fraction(&self) -> f64 {
+        if self.produced == 0 {
+            return 1.0;
+        }
+        self.stored as f64 / self.produced as f64
+    }
+
+    /// Produced batches that are neither stored, excluded, nor refused:
+    /// lost in flight (dropped by the link, or unacked at drain end).
+    pub fn undelivered(&self) -> u64 {
+        self.produced
+            .saturating_sub(self.stored + self.excluded + self.refused)
+    }
+}
+
+/// The annotation every fleet report carries: which switches, and what
+/// fraction of their samples, the data includes — per health state.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageLedger {
+    /// Per-switch coverage, sorted by source.
+    pub switches: Vec<SwitchCoverage>,
+}
+
+impl CoverageLedger {
+    /// Switches whose data is in the report (everything not quarantined).
+    pub fn included(&self) -> usize {
+        self.switches
+            .iter()
+            .filter(|s| s.state != HealthState::Quarantined)
+            .count()
+    }
+
+    /// Fleet-wide stored fraction of produced batches.
+    pub fn sample_fraction(&self) -> f64 {
+        let produced: u64 = self.switches.iter().map(|s| s.produced).sum();
+        let stored: u64 = self.switches.iter().map(|s| s.stored).sum();
+        if produced == 0 {
+            return 1.0;
+        }
+        stored as f64 / produced as f64
+    }
+
+    /// Switch counts per health state, in state order.
+    pub fn state_counts(&self) -> [(HealthState, usize); 4] {
+        let mut counts = [
+            (HealthState::Healthy, 0),
+            (HealthState::Degraded, 0),
+            (HealthState::Quarantined, 0),
+            (HealthState::Recovered, 0),
+        ];
+        for s in &self.switches {
+            for c in &mut counts {
+                if c.0 == s.state {
+                    c.1 += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Total rejoin events across the fleet.
+    pub fn rejoins(&self) -> u64 {
+        self.switches.iter().map(|s| s.rejoins).sum()
+    }
+}
+
+impl fmt::Display for CoverageLedger {
+    /// Deterministic text rendering — the annotation stamped onto fleet
+    /// figures. Totals first, then one line per switch that is *not*
+    /// plainly healthy (a 1000-switch fleet should not print 1000 lines
+    /// to say "fine").
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "coverage: {}/{} switches included, sample fraction {:.4}",
+            self.included(),
+            self.switches.len(),
+            self.sample_fraction()
+        )?;
+        let counts = self.state_counts();
+        writeln!(
+            f,
+            "  states: healthy {}, degraded {}, quarantined {}, recovered {}",
+            counts[0].1, counts[1].1, counts[2].1, counts[3].1
+        )?;
+        for s in &self.switches {
+            if s.state == HealthState::Healthy && s.undelivered() == 0 && s.refused == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  switch {}: {}, produced {}, stored {}, missing {}, excluded {}, refused {}, undelivered {}, quarantines {}, rejoins {}",
+                s.source.0,
+                s.state,
+                s.produced,
+                s.stored,
+                s.missing,
+                s.excluded,
+                s.refused,
+                s.undelivered(),
+                s.quarantines,
+                s.rejoins
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-region forwarding accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionStats {
+    /// Switches homed on this aggregator.
+    pub switches: usize,
+    /// Sequenced batches relayed into the global store.
+    pub forwarded: u64,
+    /// Straggler deadline violations flagged by this aggregator.
+    pub deadline_misses: u64,
+}
+
+/// What a fleet run produced.
+pub struct FleetOutcome {
+    /// The global merged store (per-switch series intact).
+    pub store: Arc<SampleStore>,
+    /// The coverage annotation.
+    pub coverage: CoverageLedger,
+    /// Per-region forwarding stats, indexed by region id.
+    pub regions: Vec<RegionStats>,
+    /// Data rounds pumped (drain rounds not counted).
+    pub rounds: u32,
+}
+
+/// One switch's lane through the aggregation tier.
+struct Lane {
+    source: SourceId,
+    region: usize,
+    shipper: Shipper,
+    data_link: LossyLink<SeqBatch>,
+    ack_link: LossyLink<AckMsg>,
+    rounds: Vec<RoundInput>,
+    // Health FSM state.
+    state: HealthState,
+    consec_bad: u32,
+    consec_clean: u32,
+    quarantines: u64,
+    rejoins: u64,
+    probes_used: u32,
+    next_probe: u32,
+    // Aggregator-side progress tracking.
+    last_contig: u64,
+    rounds_since_progress: u32,
+    // Coverage accounting.
+    produced: u64,
+    refused: u64,
+    excluded: u64,
+}
+
+impl Lane {
+    /// Whether this lane offers data this round, per its health state.
+    /// Quarantined lanes participate only on scheduled probe rounds and
+    /// only within their probe budget.
+    fn participates(&mut self, round: u32, policy: &HealthPolicy) -> bool {
+        if self.state != HealthState::Quarantined {
+            return true;
+        }
+        if self.probes_used >= policy.max_probes || round < self.next_probe {
+            return false;
+        }
+        self.probes_used += 1;
+        uburst_obs::counter_add("uburst_fleet_probe_rounds_total", 1);
+        true
+    }
+
+    /// Feeds one round's verdict into the FSM.
+    fn observe(&mut self, round: u32, bad: bool, policy: &HealthPolicy) {
+        if bad {
+            self.consec_clean = 0;
+            match self.state {
+                HealthState::Healthy | HealthState::Recovered => {
+                    self.state = HealthState::Degraded;
+                    self.consec_bad = 1;
+                }
+                HealthState::Degraded => {
+                    self.consec_bad += 1;
+                    if self.consec_bad >= policy.quarantine_after {
+                        self.state = HealthState::Quarantined;
+                        self.quarantines += 1;
+                        self.consec_bad = 0;
+                        self.probes_used = 0;
+                        self.next_probe = round + policy.probe_backoff;
+                        uburst_obs::counter_add("uburst_fleet_quarantines_total", 1);
+                    }
+                }
+                HealthState::Quarantined => {
+                    // A failed probe: back off (exponentially, capped).
+                    let shift = self.probes_used.min(4);
+                    self.next_probe = round + (policy.probe_backoff << shift);
+                }
+            }
+        } else {
+            self.consec_bad = 0;
+            self.consec_clean += 1;
+            match self.state {
+                HealthState::Degraded if self.consec_clean >= policy.rejoin_after => {
+                    // Never left service, so this is not a rejoin event.
+                    self.state = HealthState::Healthy;
+                }
+                HealthState::Quarantined => {
+                    if self.consec_clean >= policy.rejoin_after {
+                        self.state = HealthState::Recovered;
+                        self.rejoins += 1;
+                        uburst_obs::counter_add("uburst_fleet_rejoins_total", 1);
+                    } else {
+                        // A clean probe: probe again immediately.
+                        self.next_probe = round + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs the fleet aggregation tier over the given switch streams.
+///
+/// Fully deterministic: lanes are pumped in source order, links are
+/// seeded, and the global store is single-writer — calling this twice
+/// with the same streams yields byte-identical reports regardless of how
+/// the streams themselves were produced (that is the caller's
+/// determinism to keep; the bench crate's worker pool returns per-switch
+/// results in submission order for exactly this reason).
+///
+/// Acks travel two paths: per-ingest acks ride the switch's lossy link
+/// back (they can be lost — that is what retransmits are for), while the
+/// per-round flush acks are applied directly, modelling the aggregator's
+/// reliable control channel to its switches.
+pub fn run_fleet(streams: Vec<SwitchStream>, cfg: &FleetConfig) -> FleetOutcome {
+    assert!(cfg.regions > 0, "fleet with zero regions");
+    assert!(cfg.ticks_per_round > 0, "fleet with zero ticks per round");
+    let mut ds: DurableStore<MemStorage> = DurableStore::create(
+        MemStorage::new(),
+        WalConfig {
+            segment_max_bytes: 1 << 20,
+            fsync: FsyncPolicy::EveryN(16),
+        },
+    )
+    .expect("MemStorage create cannot fail");
+    let mut regions = vec![RegionStats::default(); cfg.regions];
+
+    // Lanes in source order: the pump order, and therefore the report
+    // order, is fixed no matter how the caller built the stream vector.
+    let mut lanes: BTreeMap<SourceId, Lane> = BTreeMap::new();
+    let mut max_rounds = 0u32;
+    for s in streams {
+        let region = s.source.0 as usize % cfg.regions;
+        regions[region].switches += 1;
+        max_rounds = max_rounds.max(s.rounds.len() as u32);
+        lanes.insert(
+            s.source,
+            Lane {
+                source: s.source,
+                region,
+                shipper: Shipper::new(s.source, cfg.shipper),
+                data_link: LossyLink::new(s.link, s.link_seed),
+                ack_link: LossyLink::new(s.link, s.link_seed ^ 0x9e37_79b9),
+                rounds: s.rounds,
+                state: HealthState::Healthy,
+                consec_bad: 0,
+                consec_clean: 0,
+                quarantines: 0,
+                rejoins: 0,
+                probes_used: 0,
+                next_probe: 0,
+                last_contig: 0,
+                rounds_since_progress: 0,
+                produced: 0,
+                refused: 0,
+                excluded: 0,
+            },
+        );
+    }
+    uburst_obs::gauge_max("uburst_fleet_switches", lanes.len() as u64);
+
+    for round in 0..max_rounds + cfg.drain_rounds {
+        let draining = round >= max_rounds;
+        for lane in lanes.values_mut() {
+            let input = (!draining)
+                .then(|| lane.rounds.get(round as usize))
+                .flatten()
+                .cloned()
+                .unwrap_or_default();
+            let had_input = !input.batches.is_empty();
+            lane.produced += input.batches.len() as u64;
+            let participating = had_input && lane.participates(round, &cfg.health);
+            let mut refused_this_round = 0u64;
+            if participating {
+                for b in input.batches {
+                    if lane.shipper.offer(b).is_err() {
+                        refused_this_round += 1;
+                    }
+                }
+            } else if had_input {
+                lane.excluded += input.batches.len() as u64;
+            }
+            lane.refused += refused_this_round;
+
+            // Pump the transport: shipper → data link → region relay →
+            // global store → ack link → shipper.
+            for _ in 0..cfg.ticks_per_round {
+                for sb in lane.shipper.tick() {
+                    lane.data_link.send(sb);
+                }
+                for sb in lane.data_link.tick() {
+                    regions[lane.region].forwarded += 1;
+                    let (_, ack) = ds.ingest(&sb).expect("MemStorage ingest cannot fail");
+                    lane.ack_link.send(ack);
+                }
+                for ack in lane.ack_link.tick() {
+                    lane.shipper.on_ack(ack);
+                }
+            }
+
+            // Aggregator-side progress / straggler tracking.
+            let contig = ds.store().contiguous(lane.source);
+            if contig > lane.last_contig {
+                lane.last_contig = contig;
+                lane.rounds_since_progress = 0;
+            } else if lane.shipper.outstanding() > 0 {
+                lane.rounds_since_progress += 1;
+            }
+            let stalled = lane.shipper.outstanding() > 0
+                && lane.rounds_since_progress >= cfg.health.deadline_rounds;
+            if stalled {
+                regions[lane.region].deadline_misses += 1;
+            }
+
+            // Health verdict for the round. Only rounds the switch took
+            // part in are judged — an excluded round proves nothing.
+            if participating {
+                let watermark = lane.shipper.next_seq();
+                let missing = watermark.saturating_sub(ds.store().contiguous(lane.source));
+                // In-flight batches are not "missing" yet; judge only what
+                // has had a full deadline window to arrive.
+                let miss_frac = if watermark == 0 || lane.rounds_since_progress == 0 {
+                    0.0
+                } else {
+                    missing as f64 / watermark as f64
+                };
+                let bad = input.degraded
+                    || refused_this_round > 0
+                    || stalled
+                    || miss_frac > cfg.health.miss_watermark;
+                lane.observe(round, bad, &cfg.health);
+            }
+        }
+        // End of round: durability point. Flush acks model the reliable
+        // control channel (applied directly, not over the lossy link).
+        let acks = ds.flush().expect("MemStorage flush cannot fail");
+        for ack in acks {
+            if let Some(lane) = lanes.get_mut(&ack.source) {
+                lane.shipper.on_ack(ack);
+            }
+        }
+    }
+
+    let store = ds.store();
+    let ledger = store.ledger();
+    let mut coverage = CoverageLedger::default();
+    for lane in lanes.values() {
+        let stored = ledger.received_count(lane.source);
+        uburst_obs::counter_add("uburst_fleet_batches_stored_total", stored);
+        uburst_obs::counter_add("uburst_fleet_batches_excluded_total", lane.excluded);
+        coverage.switches.push(SwitchCoverage {
+            source: lane.source,
+            state: lane.state,
+            produced: lane.produced,
+            stored,
+            missing: ledger
+                .gaps(lane.source)
+                .iter()
+                .map(|&(lo, hi)| hi - lo + 1)
+                .sum(),
+            excluded: lane.excluded,
+            refused: lane.refused,
+            quarantines: lane.quarantines,
+            rejoins: lane.rejoins,
+        });
+    }
+    FleetOutcome {
+        store,
+        coverage,
+        regions,
+        rounds: max_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+    use uburst_asic::CounterId;
+    use uburst_sim::node::PortId;
+    use uburst_sim::time::Nanos;
+
+    /// A per-switch stream of `rounds` rounds, one batch per round with
+    /// distinct timestamps; `degraded_until` marks the first rounds bad.
+    fn stream(src: u32, link: LinkPlan, rounds: u32, degraded_until: u32) -> SwitchStream {
+        let rounds = (0..rounds)
+            .map(|r| {
+                let mut s = Series::new();
+                s.push(Nanos(1 + r as u64 * 10), r as u64);
+                RoundInput {
+                    batches: vec![Batch {
+                        source: SourceId(src),
+                        campaign: "fleet-test".into(),
+                        counter: CounterId::TxBytes(PortId(0)),
+                        samples: s,
+                    }],
+                    degraded: r < degraded_until,
+                }
+            })
+            .collect();
+        SwitchStream {
+            source: SourceId(src),
+            link,
+            link_seed: 0xF1EE7 ^ src as u64,
+            rounds,
+        }
+    }
+
+    #[test]
+    fn ideal_fleet_has_full_coverage() {
+        let streams: Vec<_> = (0..8).map(|s| stream(s, LinkPlan::IDEAL, 6, 0)).collect();
+        let out = run_fleet(streams, &FleetConfig::default());
+        assert_eq!(out.coverage.switches.len(), 8);
+        assert_eq!(out.coverage.included(), 8);
+        assert_eq!(out.coverage.sample_fraction(), 1.0);
+        for s in &out.coverage.switches {
+            assert_eq!(s.state, HealthState::Healthy);
+            assert_eq!(s.stored, 6);
+            assert_eq!(s.undelivered(), 0);
+        }
+        assert_eq!(out.store.total_samples(), 8 * 6);
+        // Regions saw all the traffic between them.
+        assert_eq!(out.regions.iter().map(|r| r.switches).sum::<usize>(), 8);
+        assert!(out.regions.iter().all(|r| r.forwarded > 0));
+    }
+
+    #[test]
+    fn blackholed_switch_is_quarantined_and_accounted() {
+        let blackhole = LinkPlan {
+            drop_p: 1.0,
+            ..LinkPlan::IDEAL
+        };
+        let mut streams: Vec<_> = (0..4).map(|s| stream(s, LinkPlan::IDEAL, 12, 0)).collect();
+        streams.push(stream(9, blackhole, 12, 0));
+        let out = run_fleet(streams, &FleetConfig::default());
+        let bad = out
+            .coverage
+            .switches
+            .iter()
+            .find(|s| s.source == SourceId(9))
+            .unwrap();
+        assert_eq!(bad.state, HealthState::Quarantined);
+        assert_eq!(bad.stored, 0);
+        assert!(bad.excluded > 0, "quarantine exclusions are accounted");
+        assert!(bad.undelivered() > 0, "in-flight loss is accounted");
+        assert_eq!(
+            bad.produced,
+            bad.stored + bad.excluded + bad.refused + bad.undelivered(),
+            "every produced batch is in exactly one coverage column"
+        );
+        assert_eq!(out.coverage.included(), 4);
+        assert!(out.coverage.sample_fraction() < 1.0);
+        // The healthy switches are untouched by their neighbour's failure.
+        for s in out.coverage.switches.iter().filter(|s| s.source.0 < 4) {
+            assert_eq!(s.state, HealthState::Healthy);
+            assert_eq!(s.stored, 12);
+        }
+        // The report says all of this out loud.
+        let text = out.coverage.to_string();
+        assert!(text.contains("4/5 switches included"));
+        assert!(text.contains("switch 9: quarantined"));
+    }
+
+    #[test]
+    fn degraded_switch_recovers_and_counts_rejoin() {
+        // Clean link, but the switch reports degradation for its first 6
+        // rounds: Healthy → Degraded → Quarantined, then probes succeed
+        // and it comes back as Recovered with one rejoin on the books.
+        let streams = vec![
+            stream(0, LinkPlan::IDEAL, 30, 0),
+            stream(1, LinkPlan::IDEAL, 30, 6),
+        ];
+        let out = run_fleet(streams, &FleetConfig::default());
+        let s1 = out
+            .coverage
+            .switches
+            .iter()
+            .find(|s| s.source == SourceId(1))
+            .unwrap();
+        assert_eq!(s1.state, HealthState::Recovered);
+        assert_eq!(s1.quarantines, 1);
+        assert_eq!(s1.rejoins, 1);
+        assert!(s1.excluded > 0, "quarantined rounds were excluded");
+        assert!(
+            s1.stored > 0,
+            "rounds after recovery made it into the store"
+        );
+        assert_eq!(out.coverage.rejoins(), 1);
+        assert_eq!(out.coverage.included(), 2);
+    }
+
+    #[test]
+    fn fleet_outcome_is_deterministic() {
+        let build = || {
+            let mut streams: Vec<_> = (0..6)
+                .map(|s| stream(s, LinkPlan::default(), 10, 0))
+                .collect();
+            streams.push(stream(7, LinkPlan::HOSTILE, 10, 3));
+            // Stream order must not matter: lanes are keyed by source.
+            streams.reverse();
+            streams
+        };
+        let a = run_fleet(build(), &FleetConfig::default());
+        let b = run_fleet(build(), &FleetConfig::default());
+        assert_eq!(a.coverage.to_string(), b.coverage.to_string());
+        let mut csv_a = Vec::new();
+        let mut csv_b = Vec::new();
+        a.store.export_csv(&mut csv_a).unwrap();
+        b.store.export_csv(&mut csv_b).unwrap();
+        assert_eq!(csv_a, csv_b, "stored samples byte-identical");
+    }
+
+    #[test]
+    fn probe_budget_bounds_retry() {
+        // A switch that never stops reporting degradation: probes must
+        // stop at the budget instead of retrying forever.
+        let cfg = FleetConfig::default();
+        let rounds = 80;
+        let streams = vec![stream(3, LinkPlan::IDEAL, rounds, rounds)];
+        let out = run_fleet(streams, &cfg);
+        let s = &out.coverage.switches[0];
+        assert_eq!(s.state, HealthState::Quarantined);
+        // quarantine_after rounds judged before quarantine, then at most
+        // max_probes probe rounds participate; everything else excluded.
+        let participated = s.produced - s.excluded;
+        assert!(
+            participated <= (cfg.health.quarantine_after + cfg.health.max_probes) as u64,
+            "participated {participated} exceeds quarantine + probe budget"
+        );
+        assert_eq!(s.rejoins, 0);
+        assert_eq!(out.coverage.included(), 0);
+    }
+}

@@ -57,6 +57,7 @@ pub mod collector;
 pub mod degrade;
 pub mod errors;
 pub mod failpoint;
+pub mod fleet;
 pub mod link;
 pub mod output;
 pub mod poller;
@@ -71,8 +72,12 @@ pub mod wal;
 pub use batch::{Batch, BatchPolicy, Batcher, SourceId};
 pub use collector::{Collector, CollectorHealth, CollectorReport};
 pub use degrade::{DegradationController, DegradationPolicy, DegradeMode};
-pub use errors::{CollectorError, PollError, WalError};
+pub use errors::{CollectorError, PollError, ShipError, WalError};
 pub use failpoint::{crash_error, is_injected_crash, CrashPlan, TornStorage};
+pub use fleet::{
+    run_fleet, CoverageLedger, FleetConfig, FleetOutcome, HealthPolicy, HealthState, RegionStats,
+    RoundInput, SwitchCoverage, SwitchStream,
+};
 pub use link::{LinkPlan, LinkStats, LossyLink};
 pub use output::{ChannelSink, MemorySink, SampleOutput, ShipPolicy};
 pub use poller::{Poller, PollerStats, RetryPolicy};
@@ -80,8 +85,8 @@ pub use series::{RateSample, Series, UtilSample, WrapDecoder};
 pub use ship::{AckMsg, GapLedger, SeqBatch, Shipper, ShipperConfig, ShipperStats};
 pub use spec::{CampaignConfig, CoreMode};
 pub use store::{
-    counter_label, parse_counter_label, QuarantineReason, SampleStore, SeqIngest, SeriesKey,
-    StoreStats,
+    counter_label, parse_counter_label, GatePolicy, QuarantineReason, SampleStore, SeqIngest,
+    SeriesKey, StoreStats,
 };
 pub use tuning::{
     probe_loss_profile, probe_miss_fraction, tune_min_interval, TuningConfig, TuningResult,

@@ -22,6 +22,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use crate::batch::{Batch, SourceId};
+use crate::errors::ShipError;
 
 /// A [`Batch`] wrapped with its transport identity.
 #[derive(Debug, Clone)]
@@ -54,6 +55,13 @@ pub struct ShipperConfig {
     pub window: usize,
     /// Ticks without ack progress before the window is retransmitted.
     pub rto_ticks: u32,
+    /// Cap on total outstanding batches (in-flight window **plus**
+    /// untransmitted backlog). When an aggregator stalls, a go-back-N
+    /// sender makes no ack progress and every offered batch queues; this
+    /// cap turns that unbounded growth into a typed
+    /// [`ShipError::WindowExhausted`] the caller must shed and account.
+    /// Must be at least `window`.
+    pub max_outstanding: usize,
 }
 
 impl Default for ShipperConfig {
@@ -61,6 +69,7 @@ impl Default for ShipperConfig {
         ShipperConfig {
             window: 32,
             rto_ticks: 4,
+            max_outstanding: 256,
         }
     }
 }
@@ -74,6 +83,9 @@ pub struct ShipperStats {
     pub retransmits: u64,
     /// Highest cumulative ack received.
     pub acked: u64,
+    /// Offers refused because the outstanding cap was reached
+    /// ([`ShipError::WindowExhausted`]).
+    pub refused: u64,
 }
 
 /// The sending half of the sequenced shipping protocol for one source.
@@ -106,6 +118,10 @@ impl Shipper {
     pub fn new(source: SourceId, cfg: ShipperConfig) -> Self {
         assert!(cfg.window > 0, "zero shipping window");
         assert!(cfg.rto_ticks > 0, "zero retransmit timeout");
+        assert!(
+            cfg.max_outstanding >= cfg.window,
+            "outstanding cap below the window"
+        );
         Shipper {
             source,
             cfg,
@@ -138,9 +154,23 @@ impl Shipper {
         self.stats
     }
 
-    /// Queues one batch for transmission.
-    pub fn offer(&mut self, batch: Batch) {
+    /// Queues one batch for transmission, or refuses it with
+    /// [`ShipError::WindowExhausted`] when the outstanding cap
+    /// ([`ShipperConfig::max_outstanding`]) is already reached. A refused
+    /// batch is the caller's to shed and account — the shipper holds no
+    /// reference to it.
+    pub fn offer(&mut self, batch: Batch) -> Result<(), ShipError> {
+        let outstanding = self.outstanding();
+        if outstanding >= self.cfg.max_outstanding {
+            self.stats.refused += 1;
+            uburst_obs::counter_add("uburst_ship_refused_total", 1);
+            return Err(ShipError::WindowExhausted {
+                source: self.source,
+                outstanding,
+            });
+        }
         self.backlog.push_back(batch);
+        Ok(())
     }
 
     /// True when every offered batch has been acknowledged.
@@ -153,9 +183,22 @@ impl Shipper {
         self.window.len()
     }
 
-    /// Processes one cumulative ack.
+    /// Total unfinished batches: in flight plus backlog — the memory the
+    /// outstanding cap bounds.
+    pub fn outstanding(&self) -> usize {
+        self.window.len() + self.backlog.len()
+    }
+
+    /// Processes one cumulative ack. An ack beyond the transmit watermark
+    /// (acknowledging sequence numbers never assigned) is a receiver-side
+    /// protocol violation; it is clamped to the watermark so a corrupt ack
+    /// cannot teleport `next_seq` accounting out of range.
     pub fn on_ack(&mut self, ack: AckMsg) {
         debug_assert_eq!(ack.source, self.source, "ack routed to wrong shipper");
+        let ack = AckMsg {
+            source: ack.source,
+            cum: ack.cum.min(self.next_seq),
+        };
         if ack.cum > self.cum_acked {
             uburst_obs::counter_add("uburst_ship_acked_total", ack.cum - self.cum_acked);
             self.cum_acked = ack.cum;
@@ -407,7 +450,7 @@ mod tests {
     fn shipper_assigns_dense_seqs_and_watermarks() {
         let mut sh = Shipper::new(SourceId(0), ShipperConfig::default());
         for t in 1..=3 {
-            sh.offer(batch(t));
+            sh.offer(batch(t)).unwrap();
         }
         let out = sh.tick();
         assert_eq!(out.len(), 3);
@@ -433,10 +476,11 @@ mod tests {
             ShipperConfig {
                 window: 2,
                 rto_ticks: 100,
+                ..ShipperConfig::default()
             },
         );
         for t in 1..=5 {
-            sh.offer(batch(t));
+            sh.offer(batch(t)).unwrap();
         }
         assert_eq!(sh.tick().len(), 2);
         assert_eq!(sh.tick().len(), 0, "window full, nothing new");
@@ -454,10 +498,11 @@ mod tests {
             ShipperConfig {
                 window: 8,
                 rto_ticks: 3,
+                ..ShipperConfig::default()
             },
         );
-        sh.offer(batch(1));
-        sh.offer(batch(2));
+        sh.offer(batch(1)).unwrap();
+        sh.offer(batch(2)).unwrap();
         assert_eq!(sh.tick().len(), 2); // first transmissions
         assert_eq!(sh.tick().len(), 0);
         let r = sh.tick(); // third tick without progress: RTO fires
@@ -478,7 +523,7 @@ mod tests {
     fn stale_and_duplicate_acks_are_ignored() {
         let mut sh = Shipper::new(SourceId(3), ShipperConfig::default());
         for t in 1..=4 {
-            sh.offer(batch(t));
+            sh.offer(batch(t)).unwrap();
         }
         sh.tick();
         sh.on_ack(AckMsg {
@@ -522,6 +567,157 @@ mod tests {
         l.note_watermark(s, 4);
         assert_eq!(l.watermark(s), 9);
         assert_eq!(l.gaps(s), vec![(0, 8)]);
+    }
+
+    #[test]
+    fn offer_refused_at_outstanding_cap() {
+        let mut sh = Shipper::new(
+            SourceId(0),
+            ShipperConfig {
+                window: 2,
+                rto_ticks: 100,
+                max_outstanding: 4,
+            },
+        );
+        for t in 1..=4 {
+            sh.offer(batch(t)).unwrap();
+        }
+        // Cap reached with no ack progress: the fifth offer is refused
+        // with a typed error instead of growing the backlog.
+        let err = sh.offer(batch(5)).unwrap_err();
+        assert_eq!(
+            err,
+            ShipError::WindowExhausted {
+                source: SourceId(0),
+                outstanding: 4,
+            }
+        );
+        assert_eq!(sh.outstanding(), 4, "refused batch was not buffered");
+        assert_eq!(sh.stats().refused, 1);
+        // Ticking transmits but frees nothing (window 2, backlog 2).
+        sh.tick();
+        assert!(sh.offer(batch(6)).is_err());
+        // Ack progress frees outstanding slots and offers flow again.
+        sh.on_ack(AckMsg {
+            source: SourceId(0),
+            cum: 2,
+        });
+        sh.offer(batch(7)).unwrap();
+        assert_eq!(sh.stats().refused, 2);
+    }
+
+    #[test]
+    fn stalled_aggregator_cannot_grow_shipper_memory() {
+        // A dead receiver: never an ack. Memory must plateau at the cap
+        // however long the stall lasts.
+        let cfg = ShipperConfig {
+            window: 8,
+            rto_ticks: 2,
+            max_outstanding: 32,
+        };
+        let mut sh = Shipper::new(SourceId(9), cfg);
+        let mut refused = 0u64;
+        for t in 1..=1_000 {
+            if sh.offer(batch(t)).is_err() {
+                refused += 1;
+            }
+            sh.tick();
+            assert!(sh.outstanding() <= cfg.max_outstanding);
+        }
+        assert_eq!(sh.outstanding(), 32);
+        assert_eq!(refused, 1_000 - 32);
+        assert_eq!(sh.stats().refused, refused);
+    }
+
+    #[test]
+    fn ack_beyond_watermark_is_clamped() {
+        let mut sh = Shipper::new(SourceId(2), ShipperConfig::default());
+        sh.offer(batch(1)).unwrap();
+        sh.offer(batch(2)).unwrap();
+        sh.tick(); // assigns seqs 0 and 1; watermark 2
+        sh.on_ack(AckMsg {
+            source: SourceId(2),
+            cum: 99,
+        });
+        assert_eq!(
+            sh.cum_acked(),
+            2,
+            "ack past the watermark acknowledges only assigned seqs"
+        );
+        assert!(sh.done());
+        // Subsequent offers assign fresh sequence numbers from where the
+        // sender actually is, not from the corrupt ack.
+        sh.offer(batch(3)).unwrap();
+        let out = sh.tick();
+        assert_eq!(out[0].seq, 2);
+    }
+
+    #[test]
+    fn duplicate_acks_are_idempotent() {
+        let mut sh = Shipper::new(SourceId(1), ShipperConfig::default());
+        for t in 1..=3 {
+            sh.offer(batch(t)).unwrap();
+        }
+        sh.tick();
+        let ack = AckMsg {
+            source: SourceId(1),
+            cum: 2,
+        };
+        sh.on_ack(ack);
+        let after_first = (sh.cum_acked(), sh.in_flight(), sh.stats());
+        // The same cumulative ack again (a retransmitted ack) changes
+        // nothing — not even the progress timer's effect on retransmits.
+        sh.on_ack(ack);
+        sh.on_ack(ack);
+        assert_eq!((sh.cum_acked(), sh.in_flight(), sh.stats()), after_first);
+    }
+
+    #[test]
+    fn empty_ledger_tiles_exactly_to_the_watermark() {
+        // Nothing received at all: the gap list must tile [0, watermark)
+        // exactly — one range, no off-by-one at either end.
+        let mut l = GapLedger::new();
+        let s = SourceId(4);
+        l.note_watermark(s, 5);
+        assert_eq!(l.gaps(s), vec![(0, 4)]);
+        assert_eq!(l.missing_total(), 5);
+        assert_eq!(l.received_count(s), 0);
+        assert_eq!(l.contiguous(s), 0);
+        // Received ranges + gaps together tile the watermark exactly.
+        assert!(l.note_received(s, 0));
+        assert!(l.note_received(s, 3));
+        let gaps = l.gaps(s);
+        let covered: u64 =
+            gaps.iter().map(|&(lo, hi)| hi - lo + 1).sum::<u64>() + l.received_count(s);
+        assert_eq!(covered, l.watermark(s), "gaps + received tile exactly");
+        assert_eq!(gaps, vec![(1, 2), (4, 4)]);
+        // A watermark equal to the received count leaves no gap.
+        let mut full = GapLedger::new();
+        for seq in 0..5 {
+            assert!(full.note_received(s, seq));
+        }
+        full.note_watermark(s, 5);
+        assert!(full.gaps(s).is_empty());
+        assert_eq!(full.missing_total(), 0);
+    }
+
+    #[test]
+    fn ledger_duplicate_watermarks_and_acks_at_watermark() {
+        // Duplicate watermark announcements are idempotent, and a
+        // contiguous prefix that reaches the watermark means "complete".
+        let mut l = GapLedger::new();
+        let s = SourceId(6);
+        for _ in 0..3 {
+            l.note_watermark(s, 4);
+        }
+        assert_eq!(l.missing_total(), 4);
+        for seq in [1u64, 0, 2, 3] {
+            assert!(l.note_received(s, seq));
+        }
+        assert_eq!(l.contiguous(s), 4);
+        assert_eq!(l.contiguous(s), l.watermark(s));
+        assert!(l.gaps(s).is_empty());
+        assert_eq!(l.duplicates_total(), 0);
     }
 
     #[test]

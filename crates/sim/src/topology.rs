@@ -71,6 +71,26 @@ impl Default for ClosConfig {
     }
 }
 
+impl ClosConfig {
+    /// Derives this config for one rack of a fleet campaign: re-keys the
+    /// ECMP hash seed per `(fleet_seed, rack_index)` so identical
+    /// workloads on different racks do not hash their flows onto the same
+    /// uplinks — fleet-level ECMP-balance figures would otherwise be N
+    /// copies of one rack's hash luck instead of N draws. Deterministic:
+    /// the same fleet seed and rack index always produce the same fabric.
+    pub fn for_fleet_rack(mut self, fleet_seed: u64, rack_index: u32) -> ClosConfig {
+        let mut h =
+            fleet_seed ^ self.ecmp_seed ^ (rack_index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        self.ecmp_seed = h;
+        self
+    }
+}
+
 /// One rack to build: its (already created) host nodes and the counter sink
 /// for its ToR (use [`null_sink`] for unmeasured racks).
 pub struct RackSpec {
@@ -432,5 +452,23 @@ mod tests {
         // ToR has host ports + uplink ports wired.
         assert_eq!(sim.wiring().port_count(handles.tors[0]), 8);
         assert_eq!(sim.node::<Switch>(handles.tors[0]).config().ports, 8);
+    }
+
+    #[test]
+    fn fleet_rack_ecmp_seeds_are_derived_deterministically() {
+        let base = ClosConfig::default();
+        let a = base.clone().for_fleet_rack(42, 0);
+        let b = base.clone().for_fleet_rack(42, 1);
+        assert_ne!(a.ecmp_seed, b.ecmp_seed, "racks hash independently");
+        assert_eq!(
+            a.ecmp_seed,
+            base.clone().for_fleet_rack(42, 0).ecmp_seed,
+            "derivation is a pure function"
+        );
+        assert_ne!(
+            a.ecmp_seed,
+            base.for_fleet_rack(43, 0).ecmp_seed,
+            "fleet seed re-keys every rack"
+        );
     }
 }

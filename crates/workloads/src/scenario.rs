@@ -234,6 +234,26 @@ impl ScenarioConfig {
         }
     }
 
+    /// The configuration for one switch (rack) of a fleet campaign.
+    ///
+    /// Rack types rotate Web/Cache/Hadoop across switch indices (a fleet
+    /// is a mix, and the paper's cross-rack readouts compare app classes),
+    /// the master seed is re-keyed per switch so racks draw independent
+    /// workloads, and the fabric's ECMP seed is derived per rack via
+    /// [`ClosConfig::for_fleet_rack`] so fleet-level balance figures see N
+    /// independent hash draws. Pure in `(fleet_seed, switch_index)`.
+    pub fn for_fleet_switch(fleet_seed: u64, switch_index: u32) -> Self {
+        let rack_type = match switch_index % 3 {
+            0 => RackType::Web,
+            1 => RackType::Cache,
+            _ => RackType::Hadoop,
+        };
+        let seed = fleet_seed ^ (switch_index as u64 + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        let mut cfg = ScenarioConfig::new(rack_type, seed);
+        cfg.clos = cfg.clos.for_fleet_rack(fleet_seed, switch_index);
+        cfg
+    }
+
     /// Effective rate multiplier: load × diurnal factor for this app class.
     pub fn rate_factor(&self) -> f64 {
         let diurnal = match self.rack_type {
@@ -622,5 +642,24 @@ mod tests {
         assert_eq!(RackType::Web.name(), "Web");
         assert_eq!(RackType::Cache.name(), "Cache");
         assert_eq!(RackType::Hadoop.name(), "Hadoop");
+    }
+
+    #[test]
+    fn fleet_switch_configs_rotate_and_derive_independently() {
+        let a = ScenarioConfig::for_fleet_switch(1234, 0);
+        let b = ScenarioConfig::for_fleet_switch(1234, 1);
+        let c = ScenarioConfig::for_fleet_switch(1234, 2);
+        assert_eq!(a.rack_type, RackType::Web);
+        assert_eq!(b.rack_type, RackType::Cache);
+        assert_eq!(c.rack_type, RackType::Hadoop);
+        assert_ne!(a.seed, b.seed, "racks draw independent workloads");
+        assert_ne!(
+            a.clos.ecmp_seed, b.clos.ecmp_seed,
+            "racks hash flows independently"
+        );
+        // Pure function of (fleet_seed, index).
+        let a2 = ScenarioConfig::for_fleet_switch(1234, 0);
+        assert_eq!(a.seed, a2.seed);
+        assert_eq!(a.clos.ecmp_seed, a2.clos.ecmp_seed);
     }
 }

@@ -75,10 +75,11 @@ fn fresh_shippers() -> Vec<Shipper> {
                 ShipperConfig {
                     window: 8,
                     rto_ticks: 4,
+                    ..ShipperConfig::default()
                 },
             );
             for i in 0..BATCHES_PER_SOURCE {
-                sh.offer(make_batch(src, i));
+                sh.offer(make_batch(src, i)).expect("under outstanding cap");
             }
             sh
         })
