@@ -41,6 +41,67 @@ fn bench_event_queue(rec: &mut BenchRecorder) {
     });
 }
 
+fn bench_event_drain(rec: &mut BenchRecorder) {
+    // The simulator's actual consumption protocol: drain whole activated
+    // buckets into a reusable buffer instead of popping one event at a
+    // time (compare against schedule_pop_10k above).
+    bench(rec, "event_drain_10k", 50, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(
+                Nanos((i * 7919) % 100_000),
+                EventKind::Timer {
+                    node: NodeId(0),
+                    token: i,
+                },
+            );
+        }
+        let mut buf = Vec::new();
+        let mut popped = 0u64;
+        loop {
+            buf.clear();
+            if q.pop_batch(Nanos::MAX, &mut buf) == 0 {
+                break;
+            }
+            for e in &buf {
+                popped = popped.wrapping_add(e.time.as_nanos());
+            }
+        }
+        popped
+    });
+}
+
+fn bench_arena_churn(rec: &mut BenchRecorder) {
+    use uburst_sim::packet::{FlowId, Packet, PacketKind};
+    use uburst_sim::prelude::PacketArena;
+    // Steady-state packet churn: a few packets in flight, a million
+    // alloc/take cycles — the freelist path the hot loop lives on.
+    bench(rec, "arena_packet_churn_1M", 20, || {
+        let mut arena = PacketArena::new();
+        let mut refs = std::collections::VecDeque::with_capacity(8);
+        let mut acc = 0u64;
+        for i in 0..1_000_000u64 {
+            refs.push_back(arena.alloc(Packet {
+                flow: FlowId(i),
+                kind: PacketKind::Raw { tag: i },
+                src: NodeId(0),
+                dst: NodeId(1),
+                size: 1500,
+                created: Nanos(i),
+                ce: false,
+            }));
+            if refs.len() == 8 {
+                let pkt = arena.take(refs.pop_front().expect("nonempty"));
+                acc = acc.wrapping_add(pkt.flow.0);
+            }
+        }
+        while let Some(r) = refs.pop_front() {
+            acc = acc.wrapping_add(arena.take(r).flow.0);
+        }
+        acc
+    });
+}
+
 fn bench_counter_ops(rec: &mut BenchRecorder) {
     let bank = AsicCounters::new(32);
     bench(rec, "count_tx_1M", 20, || {
@@ -191,13 +252,63 @@ fn bench_fleet_ingest(rec: &mut BenchRecorder) {
     });
 }
 
+fn bench_group_commit(rec: &mut BenchRecorder) {
+    use uburst_core::ship::SeqBatch;
+    use uburst_core::wal::{DurableStore, FsyncPolicy, MemStorage, WalConfig};
+    // The aggregator's WAL hot path in isolation: 64 sources, windows of
+    // one batch per source per tick, each window one commit group — the
+    // same shape run_fleet pumps, minus the links and shippers.
+    let make_windows = || -> Vec<Vec<SeqBatch>> {
+        (0..16u64)
+            .map(|r| {
+                (0..64u32)
+                    .map(|sw| {
+                        let mut s = Series::new();
+                        for i in 0..64u64 {
+                            s.push(Nanos(1 + r * 64_000 + i * 1_000), r * 64 + i);
+                        }
+                        SeqBatch {
+                            seq: r,
+                            watermark: r + 1,
+                            batch: Batch {
+                                source: SourceId(sw),
+                                campaign: "bench".into(),
+                                counter: CounterId::TxBytes(PortId(0)),
+                                samples: s,
+                            },
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    bench(rec, "group_commit_ingest_64sw", 20, || {
+        let mut ds = DurableStore::create(
+            MemStorage::new(),
+            WalConfig {
+                segment_max_bytes: 1 << 20,
+                fsync: FsyncPolicy::EveryN(16),
+            },
+        )
+        .expect("create");
+        let mut out = Vec::new();
+        for window in make_windows() {
+            ds.ingest_group(&window, &mut out).expect("mem ingest");
+        }
+        ds.store().total_samples() as u64
+    });
+}
+
 fn main() {
     let mut rec = BenchRecorder::new("framework");
     bench_event_queue(&mut rec);
+    bench_event_drain(&mut rec);
+    bench_arena_churn(&mut rec);
     bench_counter_ops(&mut rec);
     bench_poller_loop(&mut rec);
     bench_batcher(&mut rec);
     bench_collector(&mut rec);
     bench_fleet_ingest(&mut rec);
+    bench_group_commit(&mut rec);
     rec.flush();
 }

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use crate::batch::{Batch, SourceId};
 use crate::link::{LinkPlan, LossyLink};
 use crate::ship::{AckMsg, SeqBatch, Shipper, ShipperConfig};
-use crate::store::SampleStore;
+use crate::store::{SampleStore, SeqIngest};
 use crate::wal::{DurableStore, FsyncPolicy, MemStorage, WalConfig};
 
 /// One switch's health as seen by the fleet controller.
@@ -463,6 +463,12 @@ pub fn run_fleet(streams: Vec<SwitchStream>, cfg: &FleetConfig) -> FleetOutcome 
     }
     uburst_obs::gauge_max("uburst_fleet_switches", lanes.len() as u64);
 
+    // Reused across every lane and tick: the shipper's transmit burst and
+    // the aggregator's per-window ingest results. Zero per-tick allocation
+    // once the fleet warms up.
+    let mut tx_buf: Vec<SeqBatch> = Vec::new();
+    let mut ingest_buf: Vec<(SeqIngest, AckMsg)> = Vec::new();
+
     for round in 0..max_rounds + cfg.drain_rounds {
         let draining = round >= max_rounds;
         for lane in lanes.values_mut() {
@@ -487,15 +493,24 @@ pub fn run_fleet(streams: Vec<SwitchStream>, cfg: &FleetConfig) -> FleetOutcome 
             lane.refused += refused_this_round;
 
             // Pump the transport: shipper → data link → region relay →
-            // global store → ack link → shipper.
+            // global store → ack link → shipper. Each tick's delivery
+            // burst is one WAL commit window: `ingest_group` coalesces the
+            // window into a single physical write (and at most one sync)
+            // while returning per-frame acks identical to per-record
+            // ingest, so the seeded ack link sees the exact same stream.
             for _ in 0..cfg.ticks_per_round {
-                for sb in lane.shipper.tick() {
+                lane.shipper.tick_into(&mut tx_buf);
+                for sb in tx_buf.drain(..) {
                     lane.data_link.send(sb);
                 }
-                for sb in lane.data_link.tick() {
-                    regions[lane.region].forwarded += 1;
-                    let (_, ack) = ds.ingest(&sb).expect("MemStorage ingest cannot fail");
-                    lane.ack_link.send(ack);
+                let window = lane.data_link.tick();
+                if !window.is_empty() {
+                    regions[lane.region].forwarded += window.len() as u64;
+                    ds.ingest_group(&window, &mut ingest_buf)
+                        .expect("MemStorage ingest cannot fail");
+                    for (_, ack) in ingest_buf.drain(..) {
+                        lane.ack_link.send(ack);
+                    }
                 }
                 for ack in lane.ack_link.tick() {
                     lane.shipper.on_ack(ack);

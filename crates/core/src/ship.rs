@@ -215,6 +215,17 @@ impl Shipper {
     /// on an ack timeout, a go-back-N retransmission of the whole window.
     pub fn tick(&mut self) -> Vec<SeqBatch> {
         let mut out = Vec::new();
+        self.tick_into(&mut out);
+        out
+    }
+
+    /// [`Shipper::tick`] writing into a caller-owned buffer (cleared
+    /// first), so per-tick pump loops can recycle one allocation across a
+    /// whole campaign instead of allocating a fresh `Vec` per lane per
+    /// tick.
+    pub fn tick_into(&mut self, out: &mut Vec<SeqBatch>) {
+        let recycled_cap = out.capacity();
+        out.clear();
         // Admit backlog into the window.
         while self.window.len() < self.cfg.window {
             let Some(batch) = self.backlog.pop_front() else {
@@ -255,10 +266,14 @@ impl Shipper {
         // Every message leaving this tick carries the tick's final
         // watermark: the receiver learns the full assigned range even when
         // earlier copies are dropped.
-        for sb in &mut out {
+        for sb in out.iter_mut() {
             sb.watermark = self.next_seq;
         }
-        out
+        // A tick whose transmissions fit a previously-grown buffer cost no
+        // allocation — the reuse the fleet pump loop is built around.
+        if recycled_cap > 0 && !out.is_empty() && out.capacity() == recycled_cap {
+            uburst_obs::counter_add("uburst_ship_buffer_reuse_total", 1);
+        }
     }
 }
 

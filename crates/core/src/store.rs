@@ -198,7 +198,12 @@ impl SampleStore {
             return Err(QuarantineReason::NonMonotonic);
         }
         if let Some(s) = existing {
-            if ts.iter().any(|t| s.ts.binary_search(t).is_ok()) {
+            // In-order appends — the overwhelmingly common shape once a
+            // stream is flowing — start strictly after the stored tail, so
+            // no timestamp can collide and the per-timestamp probe is
+            // skipped entirely.
+            let disjoint = s.ts.last().is_none_or(|&last| ts[0] > last);
+            if !disjoint && ts.iter().any(|t| s.ts.binary_search(t).is_ok()) {
                 return Err(QuarantineReason::DuplicateTimestamp);
             }
         }

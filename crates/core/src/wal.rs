@@ -53,7 +53,7 @@ use std::sync::{Arc, Mutex};
 use crate::batch::SourceId;
 use crate::errors::WalError;
 use crate::segment::{
-    frame, scan_segment, segment_header, SegmentScan, TearReason, SEGMENT_HEADER_LEN,
+    frame_record_into, scan_segment, segment_header, SegmentScan, TearReason, SEGMENT_HEADER_LEN,
 };
 use crate::ship::{AckMsg, SeqBatch};
 use crate::store::{SampleStore, SeqIngest};
@@ -274,6 +274,15 @@ pub struct Wal<S: WalStorage> {
     since_sync: u32,
     total_bytes: u64,
     record_ends: Vec<u64>,
+    /// Records framed but not yet pushed to `storage` (group commit). The
+    /// logical accounting (`segment_len`, `total_bytes`, `record_ends`,
+    /// `since_sync`) always includes these bytes; only the physical
+    /// `append`/`sync` calls are deferred until [`Wal::commit_group`].
+    group_buf: Vec<u8>,
+    /// A deferred record crossed a logical sync point ([`FsyncPolicy`]),
+    /// so the next flush must end with a physical sync before any of the
+    /// group's acks may be released.
+    sync_due: bool,
 }
 
 impl<S: WalStorage> Wal<S> {
@@ -293,6 +302,8 @@ impl<S: WalStorage> Wal<S> {
             since_sync: 0,
             total_bytes: SEGMENT_HEADER_LEN as u64,
             record_ends: Vec::new(),
+            group_buf: Vec::new(),
+            sync_due: false,
         })
     }
 
@@ -304,14 +315,43 @@ impl<S: WalStorage> Wal<S> {
     /// Appends one record, rotating first if the current segment is full.
     /// Returns `true` when the record (and everything before it) is synced
     /// to stable storage — the signal that its ack may be released.
+    ///
+    /// Implemented as a one-record group: [`Wal::append_deferred`] followed
+    /// by an immediate flush, so the physical byte stream, sync points, and
+    /// telemetry counters are exactly those of the pre-group-commit writer.
     pub fn append(&mut self, sb: &SeqBatch) -> Result<bool, WalError> {
-        let framed = frame(&crate::segment::encode_record(sb));
-        if self.segment_len + framed.len() > self.cfg.segment_max_bytes
+        let synced = self.append_deferred(sb)?;
+        self.flush_group()?;
+        Ok(synced)
+    }
+
+    /// Frames one record into the group buffer without touching storage
+    /// (except at rotation — see below). Returns `true` when the record
+    /// lands on a *logical* sync point per [`FsyncPolicy`] — the same
+    /// values per-record [`Wal::append`] would return — but the covering
+    /// physical sync is deferred to the next [`Wal::commit_group`], so the
+    /// caller must not release the ack until that commit returns.
+    ///
+    /// Rotation is a flush boundary: the buffered prefix is pushed and
+    /// synced before the next segment opens, in exactly the byte order the
+    /// per-record writer produces. Identity of the physical byte stream is
+    /// what makes crash recovery independent of commit grouping
+    /// (`tests/crash_recovery.rs` sweeps both modes over the same plans).
+    pub fn append_deferred(&mut self, sb: &SeqBatch) -> Result<bool, WalError> {
+        let frame_start = self.group_buf.len();
+        let frame_len = frame_record_into(sb, &mut self.group_buf);
+        if self.segment_len + frame_len > self.cfg.segment_max_bytes
             && self.segment_len > SEGMENT_HEADER_LEN
         {
-            // Close out the full segment: its records must be durable
-            // before the writer moves on.
+            // Close out the full segment: everything buffered before this
+            // record belongs to it and must be durable before the writer
+            // moves on. The just-framed record stays buffered and flushes
+            // into the new segment.
+            if frame_start > 0 {
+                self.storage.append(&self.group_buf[..frame_start])?;
+            }
             self.storage.sync()?;
+            self.sync_due = false;
             uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
             uburst_obs::counter_add("uburst_wal_rotations_total", 1);
             self.segment += 1;
@@ -320,14 +360,15 @@ impl<S: WalStorage> Wal<S> {
             self.segment_len = SEGMENT_HEADER_LEN;
             self.total_bytes += SEGMENT_HEADER_LEN as u64;
             self.since_sync = 0;
+            self.group_buf.copy_within(frame_start.., 0);
+            self.group_buf.truncate(frame_len);
         }
-        self.storage.append(&framed)?;
-        self.segment_len += framed.len();
-        self.total_bytes += framed.len() as u64;
+        self.segment_len += frame_len;
+        self.total_bytes += frame_len as u64;
         self.record_ends.push(self.total_bytes);
         if uburst_obs::enabled() {
             uburst_obs::counter_add("uburst_wal_appends_total", 1);
-            uburst_obs::counter_add("uburst_wal_bytes_total", framed.len() as u64);
+            uburst_obs::counter_add("uburst_wal_bytes_total", frame_len as u64);
             // The span's duration is the simulated-time extent the batch
             // covers — the WAL itself runs on the wall clock, which must
             // never leak into deterministic telemetry.
@@ -337,15 +378,13 @@ impl<S: WalStorage> Wal<S> {
         }
         let synced = match self.cfg.fsync {
             FsyncPolicy::Always => {
-                self.storage.sync()?;
-                uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
+                self.sync_due = true;
                 true
             }
             FsyncPolicy::EveryN(n) => {
                 self.since_sync += 1;
                 if self.since_sync >= n.max(1) {
-                    self.storage.sync()?;
-                    uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
+                    self.sync_due = true;
                     self.since_sync = 0;
                     true
                 } else {
@@ -357,11 +396,44 @@ impl<S: WalStorage> Wal<S> {
         Ok(synced)
     }
 
-    /// Forces everything appended so far to stable storage.
+    /// Pushes buffered record bytes to storage without syncing.
+    fn flush_bytes(&mut self) -> Result<(), WalError> {
+        if !self.group_buf.is_empty() {
+            self.storage.append(&self.group_buf)?;
+            self.group_buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes the group buffer; physically syncs only if a deferred
+    /// record crossed a logical sync point since the last physical sync.
+    fn flush_group(&mut self) -> Result<(), WalError> {
+        self.flush_bytes()?;
+        if self.sync_due {
+            self.storage.sync()?;
+            uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
+            self.sync_due = false;
+        }
+        Ok(())
+    }
+
+    /// Commits a group of deferred appends: one physical write for all
+    /// buffered frames and at most one physical sync, after which every
+    /// `true` returned by the group's [`Wal::append_deferred`] calls is a
+    /// durability promise and the corresponding acks may be released.
+    pub fn commit_group(&mut self) -> Result<(), WalError> {
+        uburst_obs::counter_add("uburst_wal_group_commits_total", 1);
+        self.flush_group()
+    }
+
+    /// Forces everything appended so far to stable storage (deferred
+    /// records are pushed first).
     pub fn sync(&mut self) -> Result<(), WalError> {
+        self.flush_bytes()?;
         self.storage.sync()?;
         uburst_obs::counter_add("uburst_wal_fsyncs_total", 1);
         self.since_sync = 0;
+        self.sync_due = false;
         Ok(())
     }
 
@@ -513,6 +585,48 @@ impl<S: WalStorage> DurableStore<S> {
     /// in-memory state is untouched for this batch and the process should
     /// treat the log as its source of truth on restart.
     pub fn ingest(&mut self, sb: &SeqBatch) -> Result<(SeqIngest, AckMsg), WalError> {
+        let res = self.ingest_one(sb, false)?;
+        Ok(res)
+    }
+
+    /// Ingests a whole delivery window with **one** physical write and at
+    /// most one physical sync ([`Wal::commit_group`]), pushing one
+    /// `(outcome, ack)` pair per batch onto `out` (cleared first, in window
+    /// order).
+    ///
+    /// Classification, the gap ledger, and every ack **value** are
+    /// bit-identical to calling [`DurableStore::ingest`] per batch: the
+    /// logical sync cadence ([`FsyncPolicy`]) is tracked per record, only
+    /// the physical write/sync is coalesced — and it completes before this
+    /// method returns, so releasing the acks afterwards preserves
+    /// durability-before-ack. On `Err` (a crash mid-group) no ack from the
+    /// window may be released; the log is the source of truth on restart
+    /// and the shipper's retransmit re-delivers whatever didn't survive.
+    pub fn ingest_group(
+        &mut self,
+        window: &[SeqBatch],
+        out: &mut Vec<(SeqIngest, AckMsg)>,
+    ) -> Result<(), WalError> {
+        out.clear();
+        if window.is_empty() {
+            return Ok(());
+        }
+        out.reserve(window.len());
+        for sb in window {
+            let res = self.ingest_one(sb, true)?;
+            out.push(res);
+        }
+        self.wal.commit_group()
+    }
+
+    /// Shared receiver body. With `deferred` the WAL append buffers into
+    /// the current group; the caller owns the covering
+    /// [`Wal::commit_group`] and must not release acks before it returns.
+    fn ingest_one(
+        &mut self,
+        sb: &SeqBatch,
+        deferred: bool,
+    ) -> Result<(SeqIngest, AckMsg), WalError> {
         let source = sb.batch.source;
         let cum = self.store.contiguous(source);
         if sb.seq != cum {
@@ -531,7 +645,11 @@ impl<S: WalStorage> DurableStore<S> {
                 },
             ));
         }
-        let synced = self.wal.append(sb)?;
+        let synced = if deferred {
+            self.wal.append_deferred(sb)?
+        } else {
+            self.wal.append(sb)?
+        };
         // The record is on the log: merge (or quarantine — replay will
         // faithfully re-quarantine) and advance the ledger.
         let _ = self.store.ingest_seq(sb);
@@ -766,6 +884,156 @@ mod tests {
         assert_eq!(rec.store().contiguous(SourceId(3)), 20);
         drop(rec);
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The load-bearing identity behind group commit: for any window
+    /// partition, `ingest_group` produces the same physical byte stream,
+    /// the same record-end coordinates, the same outcomes, and the same
+    /// ack values as per-record `ingest` — under every fsync policy and
+    /// across segment rotations.
+    #[test]
+    fn group_ingest_matches_per_record_ingest_bytes_and_acks() {
+        let policies = [
+            WalConfig {
+                segment_max_bytes: 256,
+                fsync: FsyncPolicy::Always,
+            },
+            WalConfig {
+                segment_max_bytes: 256,
+                fsync: FsyncPolicy::EveryN(3),
+            },
+            WalConfig {
+                segment_max_bytes: 1 << 20,
+                fsync: FsyncPolicy::EveryN(16),
+            },
+            WalConfig {
+                segment_max_bytes: 256,
+                fsync: FsyncPolicy::Never,
+            },
+        ];
+        for cfg in policies {
+            let per_storage = MemStorage::new();
+            let grp_storage = MemStorage::new();
+            let mut per = DurableStore::create(per_storage.clone(), cfg).unwrap();
+            let mut grp = DurableStore::create(grp_storage.clone(), cfg).unwrap();
+
+            // Three interleaved sources with per-source sequence numbers,
+            // plus a redelivery (dup) and an out-of-order arrival mixed in.
+            let mut batches: Vec<SeqBatch> = (0..42u64)
+                .map(|i| sb(i / 3, (i % 3) as u32, 100 * (i + 1)))
+                .collect();
+            batches.push(sb(2, 0, 300)); // duplicate redelivery
+            batches.push(sb(99, 1, 12_345)); // reordered: ahead of prefix
+
+            let per_acks: Vec<_> = batches.iter().map(|b| per.ingest(b).unwrap()).collect();
+
+            // Varying window sizes so group boundaries land everywhere
+            // relative to sync points and rotations.
+            let mut grp_acks = Vec::new();
+            let mut buf = Vec::new();
+            let sizes = [1usize, 3, 2, 5, 4, 7];
+            let mut i = 0;
+            let mut w = 0;
+            while i < batches.len() {
+                let end = (i + sizes[w % sizes.len()]).min(batches.len());
+                grp.ingest_group(&batches[i..end], &mut buf).unwrap();
+                grp_acks.append(&mut buf);
+                i = end;
+                w += 1;
+            }
+
+            assert_eq!(per_acks, grp_acks, "outcomes+acks identical ({cfg:?})");
+            assert_eq!(per.wal().total_bytes(), grp.wal().total_bytes());
+            assert_eq!(per.wal().record_ends(), grp.wal().record_ends());
+            let per_segs = per_storage.list().unwrap();
+            assert_eq!(
+                per_segs,
+                grp_storage.list().unwrap(),
+                "same rotation points"
+            );
+            for idx in per_segs {
+                assert_eq!(
+                    per_storage.read(idx).unwrap(),
+                    grp_storage.read(idx).unwrap(),
+                    "segment {idx} bytes identical ({cfg:?})"
+                );
+            }
+            // And flush releases the same residual acks on both sides.
+            assert_eq!(per.flush().unwrap(), grp.flush().unwrap());
+        }
+    }
+
+    /// Counts the physical storage calls a [`Wal`] makes — the coalescing
+    /// claim itself, measured without the process-global telemetry.
+    #[derive(Clone)]
+    struct CountingStorage {
+        inner: MemStorage,
+        appends: Arc<Mutex<u64>>,
+        syncs: Arc<Mutex<u64>>,
+    }
+
+    impl CountingStorage {
+        fn new() -> Self {
+            CountingStorage {
+                inner: MemStorage::new(),
+                appends: Arc::new(Mutex::new(0)),
+                syncs: Arc::new(Mutex::new(0)),
+            }
+        }
+        fn counts(&self) -> (u64, u64) {
+            (*self.appends.lock().unwrap(), *self.syncs.lock().unwrap())
+        }
+    }
+
+    impl WalStorage for CountingStorage {
+        fn open_segment(&mut self, index: u64) -> io::Result<()> {
+            self.inner.open_segment(index)
+        }
+        fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+            *self.appends.lock().unwrap() += 1;
+            self.inner.append(bytes)
+        }
+        fn sync(&mut self) -> io::Result<()> {
+            *self.syncs.lock().unwrap() += 1;
+            self.inner.sync()
+        }
+        fn list(&self) -> io::Result<Vec<u64>> {
+            self.inner.list()
+        }
+        fn read(&self, index: u64) -> io::Result<Vec<u8>> {
+            self.inner.read(index)
+        }
+        fn truncate(&mut self, index: u64, len: usize) -> io::Result<()> {
+            self.inner.truncate(index, len)
+        }
+    }
+
+    #[test]
+    fn commit_group_coalesces_physical_writes_and_syncs() {
+        // Under Always, per-record ingest physically syncs per record;
+        // group ingest must reach the same durable, fully-acked state with
+        // one physical write and one physical sync per window.
+        let storage = CountingStorage::new();
+        let mut ds = DurableStore::create(
+            storage.clone(),
+            WalConfig {
+                segment_max_bytes: 1 << 20,
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        let (create_appends, create_syncs) = storage.counts();
+        let window: Vec<SeqBatch> = (0..8).map(|i| sb(i, 0, 100 * (i + 1))).collect();
+        let mut out = Vec::new();
+        ds.ingest_group(&window, &mut out).unwrap();
+        let (appends, syncs) = storage.counts();
+        assert_eq!(appends - create_appends, 1, "one physical write per window");
+        assert_eq!(syncs - create_syncs, 1, "one physical sync per window");
+        // Every ack is still a durability promise: all released at cum.
+        for (k, (outcome, ack)) in out.iter().enumerate() {
+            assert_eq!(*outcome, SeqIngest::Stored);
+            assert_eq!(ack.cum, k as u64 + 1, "Always acks each record");
+        }
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Generational packet arena.
+//!
+//! Every transmission used to embed a full [`Packet`] (~64 bytes) inside
+//! its `PacketArrive` event, so the calendar queue copied packet payloads
+//! through every bucket push, merge-insert, and activation sort. The arena
+//! splits that: in-flight packets live in one flat slot array, events carry
+//! an 8-byte [`PacketRef`] handle, and slots are recycled through a
+//! freelist — so a steady-state simulation performs **zero** per-packet
+//! allocations and the event structures the scheduler actually moves
+//! shrink to a third of their former size.
+//!
+//! Handles are **generational**: each slot carries a generation counter
+//! bumped on free, and a [`PacketRef`] is only valid while its generation
+//! matches. A stale or double [`PacketArena::take`] is a simulator bug
+//! (an event delivered twice, or a packet freed behind the scheduler's
+//! back) and panics loudly rather than silently aliasing a recycled slot.
+//!
+//! The arena is owned by the simulator; nodes never see handles — dispatch
+//! resolves the handle back to a by-value [`Packet`] at delivery, so the
+//! [`crate::node::Node::on_packet`] API is unchanged.
+
+use crate::packet::Packet;
+
+/// Handle to a packet parked in a [`PacketArena`]: slot index plus the
+/// generation the slot had when allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRef {
+    idx: u32,
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    /// Whether the slot currently holds a live packet (guards `take`).
+    live: bool,
+    pkt: Packet,
+}
+
+/// Reuse and occupancy statistics (see [`PacketArena::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Handles ever allocated.
+    pub allocated: u64,
+    /// Handles ever taken back (freed).
+    pub freed: u64,
+    /// Allocations served from the freelist rather than by growing.
+    pub reuse_hits: u64,
+    /// Peak simultaneous live packets.
+    pub high_water: usize,
+}
+
+/// A freelist-backed slot arena for in-flight packets.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    stats: ArenaStats,
+}
+
+impl PacketArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty arena pre-sized for `cap` simultaneously live packets.
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketArena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::with_capacity(cap.min(1024)),
+            live: 0,
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Parks `pkt` in a slot and returns its handle.
+    pub fn alloc(&mut self, pkt: Packet) -> PacketRef {
+        self.stats.allocated += 1;
+        self.live += 1;
+        self.stats.high_water = self.stats.high_water.max(self.live);
+        if let Some(idx) = self.free.pop() {
+            self.stats.reuse_hits += 1;
+            let slot = &mut self.slots[idx as usize];
+            debug_assert!(!slot.live, "freelist pointed at a live slot");
+            slot.live = true;
+            slot.pkt = pkt;
+            return PacketRef { idx, gen: slot.gen };
+        }
+        let idx = u32::try_from(self.slots.len()).expect("arena slot overflow");
+        self.slots.push(Slot {
+            gen: 0,
+            live: true,
+            pkt,
+        });
+        PacketRef { idx, gen: 0 }
+    }
+
+    /// Takes the packet back, freeing the slot for reuse.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale (its slot was already freed) — that is
+    /// a double delivery, which would silently corrupt a simulation.
+    pub fn take(&mut self, r: PacketRef) -> Packet {
+        let slot = &mut self.slots[r.idx as usize];
+        assert!(
+            slot.live && slot.gen == r.gen,
+            "stale packet ref {:?} (slot gen {}, live {})",
+            r,
+            slot.gen,
+            slot.live
+        );
+        slot.live = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.live -= 1;
+        self.stats.freed += 1;
+        self.free.push(r.idx);
+        slot.pkt
+    }
+
+    /// Read-only view of a live packet.
+    ///
+    /// # Panics
+    /// Panics if the handle is stale.
+    pub fn get(&self, r: PacketRef) -> &Packet {
+        let slot = &self.slots[r.idx as usize];
+        assert!(slot.live && slot.gen == r.gen, "stale packet ref {r:?}");
+        &slot.pkt
+    }
+
+    /// Packets currently parked (allocated and not yet taken).
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Slots ever created (peak footprint; freed slots are retained).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocation/reuse statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::packet::{FlowId, PacketKind};
+    use crate::time::Nanos;
+
+    fn pkt(tag: u64) -> Packet {
+        Packet {
+            flow: FlowId(tag),
+            kind: PacketKind::Raw { tag },
+            src: NodeId(0),
+            dst: NodeId(1),
+            size: 100,
+            created: Nanos::ZERO,
+            ce: false,
+        }
+    }
+
+    #[test]
+    fn roundtrips_and_reuses_slots() {
+        let mut a = PacketArena::new();
+        let r1 = a.alloc(pkt(1));
+        let r2 = a.alloc(pkt(2));
+        assert_eq!(a.live(), 2);
+        assert!(matches!(a.take(r1).kind, PacketKind::Raw { tag: 1 }));
+        let r3 = a.alloc(pkt(3));
+        // r3 reuses r1's slot with a bumped generation.
+        assert_eq!(a.capacity(), 2);
+        assert_eq!(a.stats().reuse_hits, 1);
+        assert!(matches!(a.take(r2).kind, PacketKind::Raw { tag: 2 }));
+        assert!(matches!(a.take(r3).kind, PacketKind::Raw { tag: 3 }));
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.stats().allocated, 3);
+        assert_eq!(a.stats().freed, 3);
+        assert_eq!(a.stats().high_water, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet ref")]
+    fn double_take_panics() {
+        let mut a = PacketArena::new();
+        let r = a.alloc(pkt(1));
+        let _ = a.take(r);
+        let _ = a.take(r);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale packet ref")]
+    fn recycled_slot_rejects_old_handle() {
+        let mut a = PacketArena::new();
+        let old = a.alloc(pkt(1));
+        let _ = a.take(old);
+        let _new = a.alloc(pkt(2)); // same slot, new generation
+        let _ = a.take(old);
+    }
+
+    #[test]
+    fn get_reads_without_freeing() {
+        let mut a = PacketArena::new();
+        let r = a.alloc(pkt(9));
+        assert!(matches!(a.get(r).kind, PacketKind::Raw { tag: 9 }));
+        assert_eq!(a.live(), 1);
+        let _ = a.take(r);
+    }
+}

@@ -38,8 +38,8 @@
 //! produced: strictly increasing `(time, seq)` (asserted exhaustively by
 //! `tests/calendar_equivalence.rs`).
 
+use crate::arena::PacketRef;
 use crate::node::{NodeId, PortId};
-use crate::packet::Packet;
 use crate::time::Nanos;
 
 /// log2 of the bucket width in nanoseconds (256 ns buckets): narrow enough
@@ -55,7 +55,12 @@ const BUCKET_MASK: u64 = (N_BUCKETS as u64) - 1;
 const OCC_WORDS: usize = N_BUCKETS / 64;
 
 /// Everything that can happen in the simulator.
-#[derive(Debug)]
+///
+/// Packet payloads live in the simulator's [`crate::arena::PacketArena`];
+/// events carry only the 8-byte handle, which keeps the structures the
+/// calendar queue copies (bucket pushes, merge-inserts, activation sorts)
+/// at a third of their former size.
+#[derive(Debug, Clone, Copy)]
 pub enum EventKind {
     /// A packet finishes arriving at `node` on ingress `port`.
     PacketArrive {
@@ -63,8 +68,8 @@ pub enum EventKind {
         node: NodeId,
         /// Ingress port on the receiving node.
         port: PortId,
-        /// The packet itself.
-        pkt: Packet,
+        /// Arena handle of the arriving packet.
+        pkt: PacketRef,
     },
     /// `node` finishes serializing a packet out of egress `port`.
     TxComplete {
@@ -83,7 +88,7 @@ pub enum EventKind {
 }
 
 /// A scheduled occurrence: a time plus what happens then.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct Event {
     /// When the event fires.
     pub time: Nanos,
@@ -94,8 +99,9 @@ pub struct Event {
 
 impl Event {
     /// The total-order key: earlier time first, scheduling order within a
-    /// time.
-    fn key(&self) -> (u64, u64) {
+    /// time. Public so batch consumers (the simulator's slice loop) can
+    /// compare a buffered event against [`EventQueue::pop_if_before`].
+    pub fn key(&self) -> (u64, u64) {
         (self.time.0, self.seq)
     }
 }
@@ -237,6 +243,69 @@ impl EventQueue {
                 return None;
             }
             self.activate(abs);
+        }
+    }
+
+    /// Drains every event firing at or before `until` from the earliest
+    /// pending tier into `buf`, in exactly the order repeated
+    /// [`Self::pop_until`] calls would produce them, and returns how many
+    /// were appended. At most one wheel bucket is activated per call, so
+    /// the batch is the activated bucket's eligible suffix — the unit the
+    /// calendar already sorts — and `buf` can be reused across calls
+    /// without growing past the busiest bucket.
+    ///
+    /// Batching is only equivalent to pop-per-event if events scheduled
+    /// *while the batch is being consumed* cannot be overtaken. Every
+    /// batched event comes from a bucket below `next_abs`, so a new event
+    /// either lands at `abs >= next_abs` (a strictly later time than
+    /// everything batched) or merge-inserts into `cur` — consumers must
+    /// therefore interleave [`Self::pop_if_before`] with the slice, which
+    /// is an O(1) check per event.
+    pub fn pop_batch(&mut self, until: Nanos, buf: &mut Vec<Event>) -> usize {
+        loop {
+            if !self.cur.is_empty() {
+                // `cur` is sorted descending, so the eligible events
+                // (time <= until) are a suffix; reverse it into `buf`.
+                let idx = self.cur.partition_point(|e| e.time > until);
+                let n = self.cur.len() - idx;
+                if n == 0 {
+                    return 0;
+                }
+                self.len -= n;
+                buf.extend(self.cur.drain(idx..).rev());
+                return n;
+            }
+            if self.len == 0 {
+                return 0;
+            }
+            if self.wheel_len == 0 {
+                if self.overflow_min > until {
+                    return 0;
+                }
+                self.refill_from(self.overflow_min.0 >> BUCKET_SHIFT);
+                continue;
+            }
+            let abs = self.find_next_occupied();
+            if abs << BUCKET_SHIFT > until.0 {
+                return 0;
+            }
+            self.activate(abs);
+        }
+    }
+
+    /// Pops the next event only if its `(time, seq)` key precedes `key`.
+    ///
+    /// This is the preemption channel for batch consumers: mid-batch
+    /// schedules that must fire before a still-buffered event can only
+    /// live in the activated bucket (see [`Self::pop_batch`]), so one
+    /// comparison against `cur`'s back decides.
+    pub fn pop_if_before(&mut self, key: (u64, u64)) -> Option<Event> {
+        match self.cur.last() {
+            Some(e) if e.key() < key => {
+                self.len -= 1;
+                self.cur.pop()
+            }
+            _ => None,
         }
     }
 
@@ -391,6 +460,46 @@ mod tests {
         q.schedule(Nanos(2), timer(0, 0));
         q.pop_until(Nanos::MAX);
         assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_batch_drains_bucket_in_order_and_respects_horizon() {
+        let mut q = EventQueue::new();
+        // Same bucket (256 ns wide): 100, 130; different bucket: 300.
+        q.schedule(Nanos(130), timer(0, 2));
+        q.schedule(Nanos(100), timer(0, 1));
+        q.schedule(Nanos(300), timer(0, 3));
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch(Nanos(120), &mut buf), 1);
+        assert_eq!(buf.len(), 1);
+        assert!(matches!(buf[0].kind, EventKind::Timer { token: 1, .. }));
+        assert_eq!(q.len(), 2);
+        // Remaining activated-bucket event becomes eligible once the
+        // horizon moves; the next bucket needs another call.
+        assert_eq!(q.pop_batch(Nanos::MAX, &mut buf), 1);
+        assert!(matches!(buf[1].kind, EventKind::Timer { token: 2, .. }));
+        assert_eq!(q.pop_batch(Nanos::MAX, &mut buf), 1);
+        assert!(matches!(buf[2].kind, EventKind::Timer { token: 3, .. }));
+        assert_eq!(q.pop_batch(Nanos::MAX, &mut buf), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_if_before_only_yields_preempting_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), timer(0, 1));
+        q.schedule(Nanos(200), timer(0, 2));
+        let mut buf = Vec::new();
+        // Activate the bucket holding t=100 and buffer it.
+        assert_eq!(q.pop_batch(Nanos(100), &mut buf), 1);
+        // Mid-batch schedule at t=150: merges into the activated bucket.
+        q.schedule(Nanos(150), timer(0, 3));
+        // Not before the buffered event's key → no preemption.
+        assert!(q.pop_if_before(buf[0].key()).is_none());
+        // Before the pending t=200 event's key → yields the t=150 event.
+        let pre = q.pop_if_before((200, u64::MAX)).expect("preempts");
+        assert!(matches!(pre.kind, EventKind::Timer { token: 3, .. }));
         assert_eq!(q.len(), 1);
     }
 

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod counters;
 pub mod events;
 pub mod fasthash;
@@ -52,6 +53,7 @@ pub mod transport;
 
 /// The names almost every user needs.
 pub mod prelude {
+    pub use crate::arena::{ArenaStats, PacketArena, PacketRef};
     pub use crate::counters::{null_sink, CounterSink, NullCounters, SharedSink};
     pub use crate::link::LinkSpec;
     pub use crate::nic::{HostNic, NicConfig, NIC_PACE_TOKEN};

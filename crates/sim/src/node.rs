@@ -7,6 +7,7 @@
 
 use std::any::Any;
 
+use crate::arena::PacketArena;
 use crate::events::{EventKind, EventQueue};
 use crate::link::{DirectedLink, Wiring};
 use crate::packet::Packet;
@@ -48,6 +49,7 @@ pub struct Ctx<'a> {
     pub(crate) node: NodeId,
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) wiring: &'a Wiring,
+    pub(crate) arena: &'a mut PacketArena,
 }
 
 impl Ctx<'_> {
@@ -110,15 +112,25 @@ impl Ctx<'_> {
             },
         );
         let (peer_node, peer_port) = link.peer;
-        self.queue.schedule(
+        self.schedule_arrival(
             self.now + ser + link.spec.propagation,
-            EventKind::PacketArrive {
-                node: peer_node,
-                port: peer_port,
-                pkt,
-            },
+            peer_node,
+            peer_port,
+            pkt,
         );
         ser
+    }
+
+    /// Schedules `pkt` to arrive at `node` on ingress `port` at absolute
+    /// time `at`, parking the payload in the simulator's packet arena.
+    ///
+    /// [`Ctx::start_tx`] is the store-and-forward path built on this; test
+    /// traffic generators that model their own serialization discipline
+    /// call it directly.
+    pub fn schedule_arrival(&mut self, at: Nanos, node: NodeId, port: PortId, pkt: Packet) {
+        let pkt = self.arena.alloc(pkt);
+        self.queue
+            .schedule(at, EventKind::PacketArrive { node, port, pkt });
     }
 }
 
@@ -153,11 +165,13 @@ mod tests {
     #[test]
     fn start_tx_schedules_both_events() {
         let (mut queue, wiring) = ctx_fixture();
+        let mut arena = PacketArena::new();
         let mut ctx = Ctx {
             now: Nanos(1000),
             node: NodeId(0),
             queue: &mut queue,
             wiring: &wiring,
+            arena: &mut arena,
         };
         let ser = ctx.start_tx(PortId(0), raw_packet(1500));
         assert_eq!(ser, Nanos(1216));
@@ -173,28 +187,31 @@ mod tests {
             }
         ));
 
-        // Second: arrival at peer after propagation.
+        // Second: arrival at peer after propagation, payload in the arena.
         let e2 = queue.pop_until(Nanos::MAX).unwrap();
         assert_eq!(e2.time, Nanos(2716));
-        assert!(matches!(
-            e2.kind,
+        match e2.kind {
             EventKind::PacketArrive {
                 node: NodeId(1),
                 port: PortId(0),
-                ..
-            }
-        ));
+                pkt,
+            } => assert_eq!(arena.take(pkt).size, 1500),
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(arena.live(), 0);
     }
 
     #[test]
     #[should_panic(expected = "not wired")]
     fn start_tx_on_unwired_port_panics() {
         let (mut queue, wiring) = ctx_fixture();
+        let mut arena = PacketArena::new();
         let mut ctx = Ctx {
             now: Nanos::ZERO,
             node: NodeId(0),
             queue: &mut queue,
             wiring: &wiring,
+            arena: &mut arena,
         };
         ctx.start_tx(PortId(7), raw_packet(100));
     }
@@ -202,11 +219,13 @@ mod tests {
     #[test]
     fn timers_carry_token() {
         let (mut queue, wiring) = ctx_fixture();
+        let mut arena = PacketArena::new();
         let mut ctx = Ctx {
             now: Nanos(10),
             node: NodeId(0),
             queue: &mut queue,
             wiring: &wiring,
+            arena: &mut arena,
         };
         ctx.timer_in(Nanos(90), 42);
         let e = queue.pop_until(Nanos::MAX).unwrap();

@@ -1,10 +1,16 @@
 //! The simulator driver.
 //!
-//! Owns the nodes, the wiring, and the event calendar, and runs the
-//! classic discrete-event loop: pop the earliest event, advance the clock,
-//! dispatch to the owning node.
+//! Owns the nodes, the wiring, the packet arena, and the event calendar,
+//! and runs the discrete-event loop **batch-wise**: the calendar drains a
+//! whole activated bucket into a reusable buffer
+//! ([`EventQueue::pop_batch`]) and the loop consumes the slice, checking
+//! the queue's O(1) preemption channel ([`EventQueue::pop_if_before`])
+//! before each buffered event so mid-batch schedules still fire in exact
+//! `(time, seq)` order. Equivalence with pop-per-event is asserted by
+//! `tests/calendar_equivalence.rs`.
 
-use crate::events::{EventKind, EventQueue};
+use crate::arena::PacketArena;
+use crate::events::{Event, EventKind, EventQueue};
 use crate::link::{LinkSpec, Wiring};
 use crate::node::{Ctx, Node, NodeId, PortId};
 use crate::time::Nanos;
@@ -14,6 +20,10 @@ pub struct Simulator {
     nodes: Vec<Option<Box<dyn Node>>>,
     wiring: Wiring,
     queue: EventQueue,
+    arena: PacketArena,
+    /// Reusable batch buffer for [`Self::run_until`]; holds the activated
+    /// bucket currently being consumed.
+    batch: Vec<Event>,
     now: Nanos,
     dispatched: u64,
 }
@@ -31,6 +41,8 @@ impl Simulator {
             nodes: Vec::new(),
             wiring: Wiring::new(),
             queue: EventQueue::new(),
+            arena: PacketArena::new(),
+            batch: Vec::new(),
             now: Nanos::ZERO,
             dispatched: 0,
         }
@@ -45,6 +57,8 @@ impl Simulator {
             nodes: Vec::new(),
             wiring: Wiring::new(),
             queue: EventQueue::with_capacity(event_capacity),
+            arena: PacketArena::with_capacity(event_capacity / 2),
+            batch: Vec::new(),
             now: Nanos::ZERO,
             dispatched: 0,
         }
@@ -58,6 +72,17 @@ impl Simulator {
     /// Number of events dispatched so far (for benchmarks and sanity checks).
     pub fn dispatched(&self) -> u64 {
         self.dispatched
+    }
+
+    /// Packet-arena allocation/reuse statistics.
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Packets currently parked in the arena (in flight between a
+    /// `start_tx` and their delivery). Zero once the calendar drains.
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
     }
 
     /// Adds a node and returns its id.
@@ -131,24 +156,30 @@ impl Simulator {
     /// Runs until the calendar is exhausted or simulated time reaches
     /// `until` (inclusive). Returns the number of events dispatched by this
     /// call.
+    ///
+    /// The loop is batch-oriented: each iteration drains one activated
+    /// calendar bucket into the reusable `batch` buffer and consumes it as
+    /// a slice. A handler may schedule events that must fire *before* a
+    /// still-buffered event; those can only land in the queue's activated
+    /// bucket (see [`EventQueue::pop_batch`]), so one
+    /// [`EventQueue::pop_if_before`] probe per buffered event keeps the
+    /// dispatch order exactly `(time, seq)`-sorted.
     pub fn run_until(&mut self, until: Nanos) -> u64 {
         let start = self.dispatched;
-        while let Some(ev) = self.queue.pop_until(until) {
-            debug_assert!(ev.time >= self.now, "time went backwards");
-            self.now = ev.time;
-            self.dispatched += 1;
-            match ev.kind {
-                EventKind::PacketArrive { node, port, pkt } => {
-                    self.dispatch(node, |n, ctx| n.on_packet(ctx, port, pkt));
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            batch.clear();
+            if self.queue.pop_batch(until, &mut batch) == 0 {
+                break;
+            }
+            for &ev in &batch {
+                while let Some(pre) = self.queue.pop_if_before(ev.key()) {
+                    self.step(pre);
                 }
-                EventKind::TxComplete { node, port } => {
-                    self.dispatch(node, |n, ctx| n.on_tx_complete(ctx, port));
-                }
-                EventKind::Timer { node, token } => {
-                    self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
-                }
+                self.step(ev);
             }
         }
+        self.batch = batch;
         // The loop stopped because no event fires at or before `until`;
         // advance the clock to the horizon so repeated calls line up.
         if self.now < until && until != Nanos::MAX {
@@ -160,6 +191,25 @@ impl Simulator {
     /// Runs for `span` more simulated time.
     pub fn run_for(&mut self, span: Nanos) -> u64 {
         self.run_until(self.now + span)
+    }
+
+    /// Advances the clock to `ev` and dispatches it.
+    fn step(&mut self, ev: Event) {
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.dispatched += 1;
+        match ev.kind {
+            EventKind::PacketArrive { node, port, pkt } => {
+                let pkt = self.arena.take(pkt);
+                self.dispatch(node, |n, ctx| n.on_packet(ctx, port, pkt));
+            }
+            EventKind::TxComplete { node, port } => {
+                self.dispatch(node, |n, ctx| n.on_tx_complete(ctx, port));
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+        }
     }
 
     fn dispatch<F>(&mut self, node: NodeId, f: F)
@@ -177,6 +227,7 @@ impl Simulator {
             node,
             queue: &mut self.queue,
             wiring: &self.wiring,
+            arena: &mut self.arena,
         };
         f(n.as_mut(), &mut ctx);
         self.nodes[node.0 as usize] = Some(n);

@@ -71,28 +71,24 @@ pub struct SwitchStats {
     pub unroutable: u64,
 }
 
-#[derive(Debug, Default)]
-struct EgressPort {
-    queue: VecDeque<Packet>,
-    queued_bytes: u64,
-    /// The packet currently being serialized, if any. Its bytes still occupy
-    /// the shared buffer until transmission completes.
-    in_flight: Option<Packet>,
-}
-
-impl EgressPort {
-    /// Bytes this port holds in the shared buffer (queued + in flight).
-    fn held_bytes(&self) -> u64 {
-        self.queued_bytes + self.in_flight.map_or(0, |p| u64::from(p.size))
-    }
-}
-
 /// A shared-buffer switch node. See the module docs for the model.
+///
+/// Per-port state is kept struct-of-arrays: the admission test and ECN
+/// check touch only `held_bytes` (a dense `u64` array — eight ports per
+/// cache line), while the FIFO payloads and in-flight packets, which are
+/// only read on enqueue/dequeue, live in their own arrays.
 pub struct Switch {
     cfg: SwitchConfig,
     routing: RoutingTable,
     sink: SharedSink,
-    ports: Vec<EgressPort>,
+    /// Bytes each port holds in the shared buffer (queued + in flight) —
+    /// the hot array: every admission test reads exactly one entry.
+    held_bytes: Vec<u64>,
+    /// The packet each port is currently serializing, if any. Its bytes
+    /// still occupy the shared buffer until transmission completes.
+    in_flight: Vec<Option<Packet>>,
+    /// FIFO payloads per port (cold: touched only on enqueue/dequeue).
+    queues: Vec<VecDeque<Packet>>,
     /// Total bytes currently held in the shared buffer.
     buffered: u64,
     stats: SwitchStats,
@@ -102,12 +98,14 @@ impl Switch {
     /// A switch with the given configuration, routes, and counter sink.
     pub fn new(cfg: SwitchConfig, routing: RoutingTable, sink: SharedSink) -> Self {
         assert!(cfg.ports > 0 && cfg.buffer_bytes > 0 && cfg.alpha > 0.0);
-        let ports = (0..cfg.ports).map(|_| EgressPort::default()).collect();
+        let n = cfg.ports as usize;
         Switch {
             cfg,
             routing,
             sink,
-            ports,
+            held_bytes: vec![0; n],
+            in_flight: (0..n).map(|_| None).collect(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
             buffered: 0,
             stats: SwitchStats::default(),
         }
@@ -130,7 +128,7 @@ impl Switch {
 
     /// Bytes held by one egress port (queued + in flight).
     pub fn port_held_bytes(&self, port: PortId) -> u64 {
-        self.ports[port.0 as usize].held_bytes()
+        self.held_bytes[port.0 as usize]
     }
 
     /// Dynamic-threshold admission test: may a packet of `size` bytes join
@@ -142,18 +140,16 @@ impl Switch {
         }
         let free = self.cfg.buffer_bytes - self.buffered;
         let threshold = (self.cfg.alpha * free as f64) as u64;
-        self.ports[port].held_bytes() + size <= threshold.max(u64::from(crate::packet::MTU_FRAME))
+        self.held_bytes[port] + size <= threshold.max(u64::from(crate::packet::MTU_FRAME))
     }
 
     /// Starts transmission on `port` if it is idle and has queued packets.
     fn try_start_tx(&mut self, ctx: &mut Ctx<'_>, port: usize) {
-        let p = &mut self.ports[port];
-        if p.in_flight.is_some() {
+        if self.in_flight[port].is_some() {
             return;
         }
-        if let Some(pkt) = p.queue.pop_front() {
-            p.queued_bytes -= u64::from(pkt.size);
-            p.in_flight = Some(pkt);
+        if let Some(pkt) = self.queues[port].pop_front() {
+            self.in_flight[port] = Some(pkt);
             ctx.start_tx(PortId(port as u16), pkt);
         }
     }
@@ -181,24 +177,21 @@ impl Node for Switch {
 
         self.buffered += u64::from(pkt.size);
         self.sink.buffer_level(self.buffered);
-        let p = &mut self.ports[e];
         let mut pkt = pkt;
         if let Some(k) = self.cfg.ecn_threshold {
-            if p.held_bytes() > k && pkt.is_data() {
+            if self.held_bytes[e] > k && pkt.is_data() {
                 pkt.ce = true;
             }
         }
-        p.queue.push_back(pkt);
-        p.queued_bytes += u64::from(pkt.size);
+        self.queues[e].push_back(pkt);
+        self.held_bytes[e] += u64::from(pkt.size);
         self.try_start_tx(ctx, e);
     }
 
     fn on_tx_complete(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
         let i = port.0 as usize;
-        let pkt = self.ports[i]
-            .in_flight
-            .take()
-            .expect("tx-complete on idle port");
+        let pkt = self.in_flight[i].take().expect("tx-complete on idle port");
+        self.held_bytes[i] -= u64::from(pkt.size);
         self.buffered -= u64::from(pkt.size);
         self.stats.tx_packets += 1;
         self.stats.tx_bytes += u64::from(pkt.size);
@@ -275,14 +268,7 @@ mod tests {
                 };
                 t += link.spec.ser_time(self.size);
                 // Serialize sequentially on our access link.
-                ctx.queue.schedule(
-                    t + link.spec.propagation,
-                    crate::events::EventKind::PacketArrive {
-                        node: link.peer.0,
-                        port: link.peer.1,
-                        pkt,
-                    },
-                );
+                ctx.schedule_arrival(t + link.spec.propagation, link.peer.0, link.peer.1, pkt);
             }
         }
         fn as_any(&self) -> &dyn Any {

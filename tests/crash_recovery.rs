@@ -136,6 +136,56 @@ fn run_session<S: WalStorage>(
     panic!("session livelocked: shippers never drained");
 }
 
+/// [`run_session`] with the aggregator ingesting each link-tick delivery
+/// burst as one WAL commit window ([`DurableStore::ingest_group`]) — the
+/// fleet pump loop's shape. Ack handling is identical because the group
+/// path returns per-frame acks bit-identical to sequential ingest; any
+/// divergence here would desynchronize the seeded ack link's fault
+/// pattern and fail the equivalence assertions below.
+fn run_session_grouped<S: WalStorage>(
+    ds: &mut DurableStore<S>,
+    shippers: &mut [Shipper],
+    acked: &mut BTreeMap<SourceId, u64>,
+    link_salt: u64,
+) -> Result<(), WalError> {
+    let mut data_link: LossyLink<SeqBatch> = LossyLink::new(link_plan(), SEED ^ link_salt);
+    let mut ack_link: LossyLink<AckMsg> = LossyLink::new(link_plan(), SEED ^ link_salt ^ 1);
+    let mut window_out = Vec::new();
+    for tick in 0u64..100_000 {
+        for sh in shippers.iter_mut() {
+            for sb in sh.tick() {
+                data_link.send(sb);
+            }
+        }
+        let window = data_link.tick();
+        if !window.is_empty() {
+            ds.ingest_group(&window, &mut window_out)?;
+            for (_, ack) in window_out.drain(..) {
+                let best = acked.entry(ack.source).or_insert(0);
+                *best = (*best).max(ack.cum);
+                ack_link.send(ack);
+            }
+        }
+        if tick % 7 == 6 {
+            for ack in ds.flush()? {
+                let best = acked.entry(ack.source).or_insert(0);
+                *best = (*best).max(ack.cum);
+                ack_link.send(ack);
+            }
+        }
+        for ack in ack_link.tick() {
+            shippers[ack.source.0 as usize].on_ack(ack);
+        }
+        if shippers.iter().all(Shipper::done)
+            && data_link.in_flight() == 0
+            && ack_link.in_flight() == 0
+        {
+            return Ok(());
+        }
+    }
+    panic!("grouped session livelocked: shippers never drained");
+}
+
 /// The no-crash reference: full session on intact storage. Returns the
 /// canonical CSV export, the WAL's total byte count, and the global byte
 /// offset of every record end (the crash plan's coordinate system).
@@ -313,6 +363,153 @@ fn every_crash_point_recovers_to_exactly_the_acked_prefix() {
         torn_tails_seen > 0,
         "the sweep never produced a torn tail — mid-record coverage is broken"
     );
+}
+
+/// Group commit must be *invisible* to everything downstream of the WAL's
+/// byte stream: a full grouped session produces the same acks (so the
+/// seeded links draw the same faults), the same store, and the same
+/// physical log — byte for byte, under every fsync policy.
+#[test]
+fn grouped_session_is_byte_identical_to_per_record_session() {
+    for fsync in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(5),
+        FsyncPolicy::Never,
+    ] {
+        let cfg = WalConfig {
+            segment_max_bytes: SEGMENT_BYTES,
+            fsync,
+        };
+        let per_disk = MemStorage::new();
+        let mut per = DurableStore::create(per_disk.clone(), cfg).expect("create");
+        let mut per_shippers = fresh_shippers();
+        let mut per_acked = BTreeMap::new();
+        run_session(&mut per, &mut per_shippers, &mut per_acked, 0).expect("intact storage");
+
+        let grp_disk = MemStorage::new();
+        let mut grp = DurableStore::create(grp_disk.clone(), cfg).expect("create");
+        let mut grp_shippers = fresh_shippers();
+        let mut grp_acked = BTreeMap::new();
+        run_session_grouped(&mut grp, &mut grp_shippers, &mut grp_acked, 0)
+            .expect("intact storage");
+
+        assert_eq!(per_acked, grp_acked, "{fsync:?}: ack streams diverged");
+        assert_eq!(
+            per.wal().total_bytes(),
+            grp.wal().total_bytes(),
+            "{fsync:?}: byte streams diverged"
+        );
+        assert_eq!(
+            per.wal().record_ends(),
+            grp.wal().record_ends(),
+            "{fsync:?}: record layout diverged"
+        );
+        let per_segs = per_disk.list().expect("list");
+        assert_eq!(
+            per_segs,
+            grp_disk.list().expect("list"),
+            "{fsync:?}: rotations"
+        );
+        for idx in per_segs {
+            assert_eq!(
+                per_disk.read(idx).expect("read"),
+                grp_disk.read(idx).expect("read"),
+                "{fsync:?}: segment {idx} differs"
+            );
+        }
+        let (mut per_csv, mut grp_csv) = (Vec::new(), Vec::new());
+        per.store().export_csv(&mut per_csv).expect("export");
+        grp.store().export_csv(&mut grp_csv).expect("export");
+        assert_eq!(per_csv, grp_csv, "{fsync:?}: stores diverged");
+    }
+}
+
+/// The commit-window crash sweep: because the physical byte stream is
+/// identical, the bytes a crash retains — and therefore everything
+/// recovery rebuilds — must be identical at **every** crash offset,
+/// whichever ingest mode was writing when the budget ran out. Grouped
+/// acks may lag per-record acks at the crash (a window's acks are
+/// withheld if its commit dies), so the ack-side assertion is containment
+/// plus the durability floor, not equality.
+#[test]
+fn every_crash_point_recovers_identically_under_group_commit() {
+    let (reference_csv, total_bytes, record_ends) = reference_run();
+    let plan = CrashPlan::sweep(SEED, total_bytes, &record_ends, MIN_CRASH_POINTS);
+    assert!(plan.len() >= MIN_CRASH_POINTS);
+
+    for (k, &budget) in plan.offsets().iter().enumerate() {
+        // Per-record session up to the crash.
+        let per_disk = MemStorage::new();
+        let mut per_acked: BTreeMap<SourceId, u64> = BTreeMap::new();
+        {
+            let torn = TornStorage::new(per_disk.clone(), budget);
+            let mut shippers = fresh_shippers();
+            if let Ok(mut ds) = DurableStore::create(torn, wal_config()) {
+                let _ = run_session(&mut ds, &mut shippers, &mut per_acked, 0);
+            }
+        }
+        // Grouped session up to the same crash.
+        let grp_disk = MemStorage::new();
+        let mut grp_acked: BTreeMap<SourceId, u64> = BTreeMap::new();
+        let mut grp_shippers = fresh_shippers();
+        let crashed = {
+            let torn = TornStorage::new(grp_disk.clone(), budget);
+            match DurableStore::create(torn, wal_config()) {
+                Ok(mut ds) => {
+                    run_session_grouped(&mut ds, &mut grp_shippers, &mut grp_acked, 0).is_err()
+                }
+                Err(_) => true,
+            }
+        };
+        assert!(crashed, "budget {budget} must crash the grouped writer");
+
+        // The disks retained the same byte prefix, so recovery agrees.
+        let (per_rec, per_report) =
+            DurableStore::recover(per_disk, wal_config()).expect("recovery");
+        let (grp_rec, grp_report) =
+            DurableStore::recover(grp_disk, wal_config()).expect("recovery");
+        assert_eq!(
+            per_report.records, grp_report.records,
+            "crash@{budget}: modes recovered different record counts"
+        );
+        assert_eq!(grp_report.duplicates, 0);
+        let (mut per_csv, mut grp_csv) = (Vec::new(), Vec::new());
+        per_rec.store().export_csv(&mut per_csv).expect("export");
+        grp_rec.store().export_csv(&mut grp_csv).expect("export");
+        assert_eq!(
+            per_csv, grp_csv,
+            "crash@{budget}: recovered stores diverge between ingest modes"
+        );
+
+        // Ack containment + durability floor for the grouped mode.
+        for src in 0..SOURCES {
+            let source = SourceId(src);
+            let grp = grp_acked.get(&source).copied().unwrap_or(0);
+            let per = per_acked.get(&source).copied().unwrap_or(0);
+            assert!(
+                grp <= per,
+                "crash@{budget}: grouped acked {grp} > per-record {per} for {source:?}"
+            );
+            assert!(
+                grp_rec.store().contiguous(source) >= grp,
+                "crash@{budget}: grouped mode lost an acked record"
+            );
+        }
+
+        // Spot-check convergence on a stride (full resume per offset would
+        // double the suite's runtime for no additional coverage).
+        if k % 8 == 0 {
+            let mut rec = grp_rec;
+            run_session_grouped(&mut rec, &mut grp_shippers, &mut grp_acked, 0xDEAD)
+                .expect("no second crash on intact storage");
+            let mut final_csv = Vec::new();
+            rec.store().export_csv(&mut final_csv).expect("export");
+            assert_eq!(
+                final_csv, reference_csv,
+                "crash@{budget}: grouped resume did not converge"
+            );
+        }
+    }
 }
 
 #[test]
