@@ -211,44 +211,70 @@ fn bench_collector(rec: &mut BenchRecorder) {
     });
 }
 
-fn bench_fleet_ingest(rec: &mut BenchRecorder) {
-    use uburst_core::fleet::{run_fleet, FleetConfig, RoundInput, SwitchStream};
+/// 64 switches x 16 rounds of 64-sample batches over mildly lossy links —
+/// the aggregation-tier workload shared by the fleet benches below.
+fn fleet_streams_64() -> Vec<uburst_core::fleet::SwitchStream> {
+    use uburst_core::fleet::{RoundInput, SwitchStream};
     use uburst_core::link::LinkPlan;
-    // Host cost of the whole aggregation tier: 64 switches x 16 rounds of
-    // 64-sample batches over mildly lossy links (retransmits included),
+    (0..64u32)
+        .map(|sw| {
+            let rounds = (0..16u64)
+                .map(|r| {
+                    let mut s = Series::new();
+                    for i in 0..64u64 {
+                        s.push(Nanos(1 + r * 64_000 + i * 1_000), r * 64 + i);
+                    }
+                    RoundInput {
+                        batches: vec![Batch {
+                            source: SourceId(sw),
+                            campaign: "bench".into(),
+                            counter: CounterId::TxBytes(PortId(0)),
+                            samples: s,
+                        }],
+                        degraded: false,
+                    }
+                })
+                .collect();
+            SwitchStream {
+                source: SourceId(sw),
+                link: LinkPlan::default(),
+                link_seed: 0xB0B ^ sw as u64,
+                rounds,
+            }
+        })
+        .collect()
+}
+
+fn bench_fleet_ingest(rec: &mut BenchRecorder) {
+    use uburst_core::fleet::{run_fleet, FleetConfig};
+    // Host cost of the whole aggregation tier: retransmits included,
     // merged through per-switch sequence spaces into one store.
-    let make_streams = || -> Vec<SwitchStream> {
-        (0..64u32)
-            .map(|sw| {
-                let rounds = (0..16u64)
-                    .map(|r| {
-                        let mut s = Series::new();
-                        for i in 0..64u64 {
-                            s.push(Nanos(1 + r * 64_000 + i * 1_000), r * 64 + i);
-                        }
-                        RoundInput {
-                            batches: vec![Batch {
-                                source: SourceId(sw),
-                                campaign: "bench".into(),
-                                counter: CounterId::TxBytes(PortId(0)),
-                                samples: s,
-                            }],
-                            degraded: false,
-                        }
-                    })
-                    .collect();
-                SwitchStream {
-                    source: SourceId(sw),
-                    link: LinkPlan::default(),
-                    link_seed: 0xB0B ^ sw as u64,
-                    rounds,
-                }
-            })
-            .collect()
-    };
     bench(rec, "fleet_ingest_64sw_16r", 20, || {
-        let out = run_fleet(make_streams(), &FleetConfig::default());
+        let out = run_fleet(fleet_streams_64(), &FleetConfig::default());
         out.store.total_samples() as u64
+    });
+}
+
+fn bench_fleet_recovery(rec: &mut BenchRecorder) {
+    use uburst_core::failpoint::RegionCrashPlan;
+    use uburst_core::fleet::{run_fleet, run_fleet_with_crashes, FleetConfig};
+    // The failover path end to end: the busiest region's WAL dies halfway
+    // through its write stream, switches re-shard to the survivors, the
+    // WAL replays on recovery, and the run still converges. The crash
+    // offset comes from one reference run outside the timed loop.
+    let cfg = FleetConfig::default();
+    let reference = run_fleet(fleet_streams_64(), &cfg);
+    let victim = reference
+        .regions
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.wal_bytes)
+        .map(|(i, _)| i)
+        .expect("fleet has regions");
+    let crash = RegionCrashPlan::kill(victim, reference.regions[victim].wal_bytes / 2);
+    bench(rec, "fleet_region_recovery_64sw", 20, || {
+        let out = run_fleet_with_crashes(fleet_streams_64(), &cfg, &crash);
+        out.store.total_samples() as u64 + out.regions[victim].recoveries
     });
 }
 
@@ -309,6 +335,7 @@ fn main() {
     bench_batcher(&mut rec);
     bench_collector(&mut rec);
     bench_fleet_ingest(&mut rec);
+    bench_fleet_recovery(&mut rec);
     bench_group_commit(&mut rec);
     rec.flush();
 }

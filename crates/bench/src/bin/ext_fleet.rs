@@ -11,6 +11,13 @@
 //! the coverage ledger saying which switches (and what fraction of their
 //! samples) the figures include, plus the fleet's `uburst-obs` rollup.
 //!
+//! The second half is the **aggregator crash matrix**: the busiest
+//! regional aggregator's WAL storage is killed at byte offsets swept
+//! across its reference write stream; its switches re-shard to the
+//! survivors by rendezvous hashing, the WAL is replayed on recovery, and
+//! every report must still tile its coverage ledger and converge to full
+//! fault-free coverage.
+//!
 //! Deterministic from the fleet seed: the same report prints byte for
 //! byte under any `UBURST_THREADS` (CI diffs it).
 //!
@@ -18,13 +25,19 @@
 //! `UBURST_FLEET_SWITCHES` overrides the fleet width (default 200; CI
 //! uses 32 to stay fast).
 
-use uburst_bench::fleet::{render_report, run_fleet_spec, FleetSpec};
+use uburst_bench::fleet::{render_report, run_fleet_spec, run_fleet_spec_crashed, FleetSpec};
 use uburst_bench::Scale;
+use uburst_core::failpoint::RegionCrashPlan;
 
 const FLEET_SEED: u64 = 0x000F_1EE7_CAFE;
 
 /// Injected flaky-switch rates swept by the experiment.
 const RATES: [f64; 3] = [0.0, 0.05, 0.20];
+
+/// Crash offsets for the aggregator crash matrix, as fractions of the
+/// victim region's reference-run WAL byte count: early (mid data rounds),
+/// late, and near the end of the write stream.
+const CRASH_FRACTIONS: [f64; 3] = [0.25, 0.60, 0.90];
 
 fn fleet_width() -> u32 {
     match std::env::var("UBURST_FLEET_SWITCHES") {
@@ -50,18 +63,57 @@ fn main() {
     println!("{n} switches per fleet, rack types rotating Web/Cache/Hadoop, seed {FLEET_SEED:#x}");
     println!("flaky switches poll through a faulty ASIC bus and ship over a hostile link");
 
+    // Region WAL byte counts from the fault-free run: the coordinate
+    // system for the crash matrix below.
+    let mut reference_wal_bytes: Vec<u64> = Vec::new();
     for rate in RATES {
         // Fresh telemetry per fleet so the rollup below is this fleet's.
         uburst_obs::reset();
         let spec = FleetSpec::new(n, FLEET_SEED, rate, scale);
         let run = run_fleet_spec(&spec);
+        if rate == 0.0 {
+            reference_wal_bytes = run.outcome.regions.iter().map(|r| r.wal_bytes).collect();
+        }
         println!("\n=== fleet at {:.0}% flaky rate ===\n", rate * 100.0);
         print!("{}", render_report(&run));
-        let rollup = uburst_obs::snapshot().prefix_rollup("uburst_fleet_");
-        if rollup.is_empty() {
-            println!("\nobs rollup (uburst_fleet_*): <empty>");
-        } else {
-            println!("\nobs rollup (uburst_fleet_*):\n{rollup}");
-        }
+        print_rollup();
+    }
+
+    // Aggregator crash matrix: kill the busiest region's WAL at byte
+    // offsets swept across its reference write stream, and show that the
+    // fleet re-shards around the outage, replays the WAL on recovery, and
+    // still converges to full fault-free coverage — byte-identically
+    // across thread counts (CI diffs this output at 1 vs. 8 threads).
+    let victim = reference_wal_bytes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &b)| b)
+        .map(|(r, _)| r)
+        .expect("fleet has regions");
+    let victim_bytes = reference_wal_bytes[victim];
+    println!(
+        "\ncrash matrix: region {victim} aggregator ({victim_bytes} reference WAL bytes), \
+         fault-free fleet"
+    );
+    for frac in CRASH_FRACTIONS {
+        uburst_obs::reset();
+        let offset = (victim_bytes as f64 * frac) as u64;
+        let spec = FleetSpec::new(n, FLEET_SEED, 0.0, scale);
+        let run = run_fleet_spec_crashed(&spec, &RegionCrashPlan::kill(victim, offset));
+        println!(
+            "\n=== aggregator crash at {:.0}% of region {victim}'s WAL (byte {offset}) ===\n",
+            frac * 100.0
+        );
+        print!("{}", render_report(&run));
+        print_rollup();
+    }
+}
+
+fn print_rollup() {
+    let rollup = uburst_obs::snapshot().prefix_rollup("uburst_fleet_");
+    if rollup.is_empty() {
+        println!("\nobs rollup (uburst_fleet_*): <empty>");
+    } else {
+        println!("\nobs rollup (uburst_fleet_*):\n{rollup}");
     }
 }

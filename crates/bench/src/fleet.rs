@@ -21,8 +21,9 @@ use std::fmt::Write as _;
 use uburst_analysis::{correlation_matrix, mad_per_period, mean_offdiagonal, Ecdf};
 use uburst_asic::{CounterId, FaultPlan};
 use uburst_core::batch::{Batch, SourceId};
+use uburst_core::failpoint::RegionCrashPlan;
 use uburst_core::fleet::{
-    run_fleet, FleetConfig, FleetOutcome, HealthState, RoundInput, SwitchStream,
+    run_fleet_with_crashes, FleetConfig, FleetOutcome, HealthState, RoundInput, SwitchStream,
 };
 use uburst_core::link::LinkPlan;
 use uburst_core::poller::RetryPolicy;
@@ -107,6 +108,8 @@ pub struct SwitchMeta {
 pub struct FleetRun {
     /// The spec that produced this run.
     pub spec: FleetSpec,
+    /// Aggregator crashes injected into the run (empty = none).
+    pub crashes: RegionCrashPlan,
     /// Aggregation-tier outcome: global store, coverage ledger, regions.
     pub outcome: FleetOutcome,
     /// Per-switch metadata, in source order.
@@ -213,33 +216,54 @@ fn measure_switch(spec: &FleetSpec, index: u32) -> SwitchRun {
 /// Runs the fleet campaign: per-switch simulations on the worker pool,
 /// then the aggregation tier single-threaded over the collected streams.
 pub fn run_fleet_spec(spec: &FleetSpec) -> FleetRun {
-    assemble(
-        spec,
-        run_jobs((0..spec.n_switches).collect(), |i| measure_switch(spec, i)),
-    )
+    run_fleet_spec_crashed(spec, &RegionCrashPlan::none())
 }
 
 /// [`run_fleet_spec`] with an explicit worker-thread count — the
 /// determinism test harness (`threads = 1` is the sequential baseline).
 pub fn run_fleet_spec_on(threads: usize, spec: &FleetSpec) -> FleetRun {
+    run_fleet_spec_crashed_on(threads, spec, &RegionCrashPlan::none())
+}
+
+/// [`run_fleet_spec`] with regional aggregator crashes injected at
+/// byte-granular WAL offsets (the `ext_fleet` crash matrix). The crash
+/// plan only touches the aggregation tier, which is pumped
+/// single-threaded in source order — the report stays byte-identical
+/// across `UBURST_THREADS` even mid-crash.
+pub fn run_fleet_spec_crashed(spec: &FleetSpec, crashes: &RegionCrashPlan) -> FleetRun {
+    assemble(
+        spec,
+        run_jobs((0..spec.n_switches).collect(), |i| measure_switch(spec, i)),
+        crashes,
+    )
+}
+
+/// [`run_fleet_spec_crashed`] with an explicit worker-thread count.
+pub fn run_fleet_spec_crashed_on(
+    threads: usize,
+    spec: &FleetSpec,
+    crashes: &RegionCrashPlan,
+) -> FleetRun {
     assemble(
         spec,
         run_jobs_on(threads, (0..spec.n_switches).collect(), |i| {
             measure_switch(spec, i)
         }),
+        crashes,
     )
 }
 
-fn assemble(spec: &FleetSpec, runs: Vec<SwitchRun>) -> FleetRun {
+fn assemble(spec: &FleetSpec, runs: Vec<SwitchRun>, crashes: &RegionCrashPlan) -> FleetRun {
     let mut switches = Vec::with_capacity(runs.len());
     let mut streams = Vec::with_capacity(runs.len());
     for r in runs {
         switches.push(r.meta);
         streams.push(r.stream);
     }
-    let outcome = run_fleet(streams, &FleetConfig::default());
+    let outcome = run_fleet_with_crashes(streams, &FleetConfig::default(), crashes);
     FleetRun {
         spec: *spec,
+        crashes: crashes.clone(),
         outcome,
         switches,
     }
@@ -317,18 +341,39 @@ pub fn render_report(run: &FleetRun) -> String {
         spec.fleet_seed, flaky_count
     )
     .unwrap();
+    for region in run.crashes.regions() {
+        writeln!(
+            out,
+            "injected crash: region {region} aggregator dies at WAL byte {}",
+            run.crashes.budget(region).unwrap()
+        )
+        .unwrap();
+    }
 
     // The headline: what the data below actually covers.
     out.push('\n');
     out.push_str(&run.outcome.coverage.to_string());
 
-    let mut regions = Table::new(&["region", "switches", "forwarded", "deadline_misses"]);
+    let mut regions = Table::new(&[
+        "region",
+        "switches",
+        "forwarded",
+        "deadline_misses",
+        "refused",
+        "rejoins",
+        "crashes",
+        "replayed",
+    ]);
     for (i, r) in run.outcome.regions.iter().enumerate() {
         regions.row(&[
             format!("{i}"),
             format!("{}", r.switches),
             format!("{}", r.forwarded),
             format!("{}", r.deadline_misses),
+            format!("{}", r.refused),
+            format!("{}", r.rejoins),
+            format!("{}", r.crashes),
+            format!("{}", r.replayed),
         ]);
     }
     writeln!(out, "\n{}", regions.render()).unwrap();
@@ -447,6 +492,31 @@ pub fn render_report(run: &FleetRun) -> String {
         "every produced batch lands in exactly one coverage column".into(),
         tiled,
     ));
+    let acked_floor = run
+        .outcome
+        .coverage
+        .switches
+        .iter()
+        .all(|s| s.stored >= s.acked);
+    checks.push((
+        "no acked batch is lost (stored >= shipper acked prefix)".into(),
+        acked_floor,
+    ));
+    if !run.crashes.is_empty() {
+        let crashed: u64 = run.outcome.regions.iter().map(|r| r.crashes).sum();
+        let recovered: u64 = run.outcome.regions.iter().map(|r| r.recoveries).sum();
+        checks.push((
+            format!("every crashed aggregator recovered ({recovered}/{crashed})"),
+            crashed > 0 && recovered == crashed,
+        ));
+        checks.push((
+            format!(
+                "crashed regions' switches re-sharded and returned ({} re-shard events)",
+                run.outcome.coverage.resharded()
+            ),
+            run.outcome.coverage.resharded() > 0,
+        ));
+    }
     if spec.flaky_rate == 0.0 {
         checks.push((
             format!(

@@ -1,9 +1,11 @@
 //! Fleet-tier contracts: thread-count invariance of the full fleet
-//! report, and partial-failure accounting (quarantined switches are
-//! excluded *and* accounted, never silently dropped).
+//! report (with and without aggregator crashes), and partial-failure
+//! accounting (quarantined switches are excluded *and* accounted, never
+//! silently dropped).
 
-use uburst_bench::fleet::{render_report, run_fleet_spec_on, FleetSpec};
+use uburst_bench::fleet::{render_report, run_fleet_spec_crashed_on, run_fleet_spec_on, FleetSpec};
 use uburst_bench::Scale;
+use uburst_core::failpoint::RegionCrashPlan;
 use uburst_core::fleet::HealthState;
 use uburst_sim::time::Nanos;
 
@@ -32,6 +34,33 @@ fn fleet_report_is_thread_count_invariant_under_faults() {
         sequential.contains("coverage:"),
         "report carries a coverage ledger"
     );
+}
+
+#[test]
+fn crashed_fleet_report_is_thread_count_invariant() {
+    // Aggregator crash + re-shard + WAL replay happen entirely in the
+    // single-threaded aggregation pump, so a mid-run region crash must
+    // not cost byte-identity across worker counts either.
+    let spec = tiny(6, 0.0);
+    let reference = run_fleet_spec_on(1, &spec);
+    let victim = reference
+        .outcome
+        .regions
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, r)| r.wal_bytes)
+        .map(|(i, _)| i)
+        .unwrap();
+    let crash = RegionCrashPlan::kill(victim, reference.outcome.regions[victim].wal_bytes / 2);
+    let sequential = render_report(&run_fleet_spec_crashed_on(1, &spec, &crash));
+    let parallel = render_report(&run_fleet_spec_crashed_on(4, &spec, &crash));
+    assert_eq!(
+        sequential, parallel,
+        "crashed fleet report diverged across thread counts"
+    );
+    assert!(sequential.contains("injected crash: region"));
+    assert!(sequential.contains("[ok] every crashed aggregator recovered (1/1)"));
+    assert!(sequential.contains("[ok] no acked batch is lost"));
 }
 
 #[test]

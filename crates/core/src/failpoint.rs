@@ -198,6 +198,69 @@ impl CrashPlan {
     }
 }
 
+/// A seeded crash schedule for a fleet of regional aggregators: per-region
+/// byte budgets at which each region's WAL storage dies mid-write. The
+/// fleet tier wraps every regional WAL in a [`TornStorage`] with its
+/// region's budget (`u64::MAX` — never — when unlisted), so a region
+/// crashes at an exact byte of its own write stream, mid-round, exactly
+/// once per run — and the surviving disk image is what recovery replays.
+///
+/// Offsets are in the coordinate system of the *region's* WAL byte stream
+/// (from a reference run's [`crate::wal::Wal::total_bytes`] /
+/// [`crate::wal::Wal::record_ends`]), so a [`CrashPlan`] sweep lifts
+/// directly to a per-region crash matrix via
+/// [`RegionCrashPlan::sweep_region`].
+#[derive(Debug, Clone, Default)]
+pub struct RegionCrashPlan {
+    budgets: std::collections::BTreeMap<usize, u64>,
+}
+
+impl RegionCrashPlan {
+    /// A plan that crashes nothing.
+    pub fn none() -> Self {
+        RegionCrashPlan::default()
+    }
+
+    /// A plan that kills `region` once its WAL has applied `offset` bytes.
+    pub fn kill(region: usize, offset: u64) -> Self {
+        RegionCrashPlan::default().and_kill(region, offset)
+    }
+
+    /// Adds (or tightens) a kill for `region` at `offset` bytes. Listing a
+    /// region twice keeps the earlier offset — a storage can only die once.
+    pub fn and_kill(mut self, region: usize, offset: u64) -> Self {
+        let b = self.budgets.entry(region).or_insert(u64::MAX);
+        *b = (*b).min(offset);
+        self
+    }
+
+    /// The byte budget for `region`: its crash offset, or `None` when the
+    /// plan lets it live.
+    pub fn budget(&self, region: usize) -> Option<u64> {
+        self.budgets.get(&region).copied()
+    }
+
+    /// Regions scheduled to die, ascending.
+    pub fn regions(&self) -> Vec<usize> {
+        self.budgets.keys().copied().collect()
+    }
+
+    /// Whether the plan crashes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.budgets.is_empty()
+    }
+
+    /// Lifts a byte-offset sweep ([`CrashPlan::sweep`] over a reference
+    /// run's regional WAL layout) into one single-region kill per offset —
+    /// the fleet crash matrix iterates these.
+    pub fn sweep_region(region: usize, plan: &CrashPlan) -> Vec<RegionCrashPlan> {
+        plan.offsets()
+            .iter()
+            .map(|&o| RegionCrashPlan::kill(region, o))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,5 +341,26 @@ mod tests {
         let plan = CrashPlan::sweep(1, 4, &[2], 200);
         assert!(plan.len() <= 4, "cannot exceed distinct offsets");
         assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn region_crash_plan_budgets_and_sweep() {
+        assert!(RegionCrashPlan::none().is_empty());
+        assert_eq!(RegionCrashPlan::none().budget(0), None);
+        let plan = RegionCrashPlan::kill(2, 100)
+            .and_kill(0, 40)
+            .and_kill(2, 300);
+        assert_eq!(plan.regions(), vec![0, 2]);
+        assert_eq!(plan.budget(0), Some(40));
+        assert_eq!(plan.budget(2), Some(100), "earlier kill wins");
+        assert_eq!(plan.budget(1), None);
+
+        let sweep = CrashPlan::sweep(7, 500, &[50, 120], 20);
+        let matrix = RegionCrashPlan::sweep_region(1, &sweep);
+        assert_eq!(matrix.len(), sweep.len());
+        for (rp, &o) in matrix.iter().zip(sweep.offsets()) {
+            assert_eq!(rp.budget(1), Some(o));
+            assert_eq!(rp.regions(), vec![1]);
+        }
     }
 }

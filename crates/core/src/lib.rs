@@ -35,7 +35,12 @@
 //!   CRC-framed segment files, fsync-policy-gated acks, and torn-tail
 //!   recovery back into the store;
 //! * [`failpoint`] — deterministic byte-granular crash injection
-//!   ([`TornStorage`], [`CrashPlan`]) driving the durability test suite.
+//!   ([`TornStorage`], [`CrashPlan`], [`RegionCrashPlan`]) driving the
+//!   durability and failover test suites;
+//! * [`fleet`] — the fleet aggregation tier: WAL-backed regional
+//!   aggregators with per-switch health tracking, coverage ledgers,
+//!   rendezvous re-sharding around aggregator crashes, and WAL-replay
+//!   recovery into the global store.
 //!
 //! ## End-to-end shape
 //!
@@ -73,10 +78,10 @@ pub use batch::{Batch, BatchPolicy, Batcher, SourceId};
 pub use collector::{Collector, CollectorHealth, CollectorReport};
 pub use degrade::{DegradationController, DegradationPolicy, DegradeMode};
 pub use errors::{CollectorError, PollError, ShipError, WalError};
-pub use failpoint::{crash_error, is_injected_crash, CrashPlan, TornStorage};
+pub use failpoint::{crash_error, is_injected_crash, CrashPlan, RegionCrashPlan, TornStorage};
 pub use fleet::{
-    run_fleet, CoverageLedger, FleetConfig, FleetOutcome, HealthPolicy, HealthState, RegionStats,
-    RoundInput, SwitchCoverage, SwitchStream,
+    rendezvous_region, run_fleet, run_fleet_with_crashes, CoverageLedger, FleetConfig,
+    FleetOutcome, HealthPolicy, HealthState, RegionStats, RoundInput, SwitchCoverage, SwitchStream,
 };
 pub use link::{LinkPlan, LinkStats, LossyLink};
 pub use output::{ChannelSink, MemorySink, SampleOutput, ShipPolicy};

@@ -314,6 +314,27 @@ impl SourceLedger {
         true
     }
 
+    /// Marks every sequence number below `upto` received without counting
+    /// duplicates — stream adoption after a regional handoff, where the
+    /// prefix is known durable elsewhere and must not reappear as a gap
+    /// (or inflate dedup counts) here.
+    fn adopt_prefix(&mut self, upto: u64) {
+        if upto == 0 {
+            return;
+        }
+        let mut hi = upto - 1;
+        // Swallow every range the prefix overlaps or abuts (lo <= upto).
+        while let Some(&(lo0, hi0)) = self.received.first() {
+            if lo0 > upto {
+                break;
+            }
+            hi = hi.max(hi0);
+            self.received.remove(0);
+        }
+        self.received.insert(0, (0, hi));
+        self.watermark = self.watermark.max(upto);
+    }
+
     /// Contiguous received prefix length (the cumulative ack value).
     fn contiguous(&self) -> u64 {
         match self.received.first() {
@@ -370,6 +391,17 @@ impl GapLedger {
                 .get(i)
                 .is_some_and(|&(lo, hi)| lo <= seq && seq <= hi)
         })
+    }
+
+    /// Adopts `source` at sequence `upto`: every number below it is marked
+    /// received (without counting duplicates) and the watermark is raised
+    /// to cover the adopted range. Used when a receiver takes over a
+    /// stream mid-flight — a regional handoff after an aggregator crash —
+    /// and the prefix is durably owned by the previous receiver: the new
+    /// one must neither report it as a gap nor wait for a retransmit the
+    /// shipper (whose acked prefix is exactly `upto`) will never send.
+    pub fn adopt_prefix(&mut self, source: SourceId, upto: u64) {
+        self.sources.entry(source).or_default().adopt_prefix(upto);
     }
 
     /// Raises the source's known transmit watermark (never lowers it).
@@ -746,5 +778,45 @@ mod tests {
         assert_eq!(l.contiguous(s), 6);
         assert!(l.gaps(s).is_empty());
         assert_eq!(l.missing_total(), 0);
+    }
+
+    #[test]
+    fn ledger_adopt_prefix_merges_without_counting_duplicates() {
+        let mut l = GapLedger::new();
+        let s = SourceId(4);
+        // Pre-existing ranges straddling the adoption point: [2,3], [7,8].
+        for seq in [2u64, 3, 7, 8] {
+            assert!(l.note_received(s, seq));
+        }
+        l.adopt_prefix(s, 5);
+        assert_eq!(l.contiguous(s), 5, "prefix [0,5) adopted");
+        assert_eq!(l.watermark(s), 5, "adoption raises the watermark");
+        assert_eq!(l.duplicates_total(), 0, "adoption is not a redelivery");
+        assert_eq!(l.received_count(s), 7, "[0,4] + [7,8]");
+        assert_eq!(l.gaps(s), vec![(5, 6)]);
+        // Adoption glues with an abutting range: [0,4] ∪ adopt(7) where
+        // [7,8] starts exactly at upto: [5,6] filled, all contiguous.
+        l.adopt_prefix(s, 7);
+        assert_eq!(l.contiguous(s), 9);
+        assert!(l.gaps(s).is_empty());
+        // Adopting behind current progress is a no-op.
+        l.adopt_prefix(s, 1);
+        assert_eq!(l.contiguous(s), 9);
+        assert_eq!(l.duplicates_total(), 0);
+        // Zero adoption on a fresh source changes nothing.
+        l.adopt_prefix(SourceId(5), 0);
+        assert_eq!(l.contiguous(SourceId(5)), 0);
+        assert_eq!(l.received_count(SourceId(5)), 0);
+    }
+
+    #[test]
+    fn ledger_note_after_adoption_deduplicates_inside_prefix() {
+        let mut l = GapLedger::new();
+        let s = SourceId(6);
+        l.adopt_prefix(s, 10);
+        assert!(!l.note_received(s, 3), "inside the adopted prefix");
+        assert_eq!(l.duplicates_total(), 1, "a real redelivery still counts");
+        assert!(l.note_received(s, 10), "first number past the prefix");
+        assert_eq!(l.contiguous(s), 11);
     }
 }

@@ -336,6 +336,17 @@ impl SampleStore {
         self.ledger_lock().note_watermark(source, watermark);
     }
 
+    /// Adopts `source` at sequence `upto`: the ledger marks everything
+    /// below it received (no duplicate counting) so the store's contiguous
+    /// prefix — and therefore the cumulative acks issued from it — starts
+    /// at the handoff point. The adopted batches' *payloads* are not here;
+    /// they are durably owned by the previous receiver (a regional
+    /// aggregator handing the stream over), and the tier above merges both
+    /// receivers' stores into the global one.
+    pub fn adopt_prefix(&self, source: SourceId, upto: u64) {
+        self.ledger_lock().adopt_prefix(source, upto);
+    }
+
     /// Contiguous received-sequence prefix for `source` — the cumulative
     /// ack value its shipper may be sent.
     pub fn contiguous(&self, source: SourceId) -> u64 {

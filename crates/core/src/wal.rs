@@ -476,6 +476,14 @@ pub struct RecoveryReport {
     /// Replayed records the store quarantined (they were quarantined in
     /// the original session too; replay is faithful to that).
     pub quarantined: u64,
+    /// Forward sequence jumps adopted during replay. A regional WAL that
+    /// took over a stream mid-flight ([`DurableStore::adopt_source`])
+    /// legitimately begins a source at a nonzero sequence (and may jump
+    /// again if the stream left and came back); recovery re-derives each
+    /// adoption point from the log itself — the first record of a run is
+    /// the handoff base. Always 0 for a WAL that owned its streams from
+    /// sequence 0.
+    pub adoptions: u64,
 }
 
 /// The durable receiver: WAL-backed [`SampleStore`] with sequence-number
@@ -505,7 +513,28 @@ impl<S: WalStorage> DurableStore<S> {
     /// every segment, truncates torn tails, replays clean records into a
     /// fresh store (dedup and quarantine re-applied), and resumes logging
     /// in a new segment after the highest surviving one.
-    pub fn recover(mut storage: S, cfg: WalConfig) -> Result<(Self, RecoveryReport), WalError> {
+    pub fn recover(storage: S, cfg: WalConfig) -> Result<(Self, RecoveryReport), WalError> {
+        Self::recover_inner(storage, cfg, &mut |_| {})
+    }
+
+    /// [`DurableStore::recover`] with a per-record sink: `on_record` sees
+    /// every clean record in log order before it is replayed into the
+    /// fresh store. The failover path uses this to feed a crashed regional
+    /// aggregator's durable prefix into the *global* tier in the same pass
+    /// that rebuilds the regional store.
+    pub fn recover_replay(
+        storage: S,
+        cfg: WalConfig,
+        on_record: &mut dyn FnMut(&SeqBatch),
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        Self::recover_inner(storage, cfg, on_record)
+    }
+
+    fn recover_inner(
+        mut storage: S,
+        cfg: WalConfig,
+        on_record: &mut dyn FnMut(&SeqBatch),
+    ) -> Result<(Self, RecoveryReport), WalError> {
         let mut report = RecoveryReport::default();
         let store = Arc::new(SampleStore::new());
         let indices = storage.list()?;
@@ -529,6 +558,16 @@ impl<S: WalStorage> DurableStore<S> {
             }
             for sb in records {
                 report.records += 1;
+                on_record(&sb);
+                // The log appends only in-sequence records, so a forward
+                // jump is an adoption point (the stream was taken over
+                // mid-flight, or left and came back): re-adopt before
+                // replaying, exactly as the original session did.
+                let source = sb.batch.source;
+                if sb.seq > store.contiguous(source) {
+                    store.adopt_prefix(source, sb.seq);
+                    report.adoptions += 1;
+                }
                 match store.ingest_seq(&sb) {
                     Ok(SeqIngest::Stored) => {}
                     // The log holds only in-order, first-delivery records;
@@ -687,6 +726,32 @@ impl<S: WalStorage> DurableStore<S> {
     /// never reached the log.
     pub fn note_stream_state(&self, source: SourceId, next_seq: u64) {
         self.store.note_watermark(source, next_seq);
+    }
+
+    /// Takes over `source` mid-flight at sequence `upto` — the regional
+    /// handoff half of go-back-N resync. The store's ledger adopts the
+    /// prefix below `upto` (durably owned by the previous receiver; the
+    /// tier above merges both into the global store) and the ack floor is
+    /// raised to match, so the first ack this receiver issues carries at
+    /// least `upto` and the shipper — whose acked prefix is exactly `upto`
+    /// when the controller computes it — resumes in sequence with no gap,
+    /// no double-count, and no wait for a retransmit that will never come.
+    ///
+    /// Nothing is logged: on recovery the adoption point is re-derived
+    /// from the first logged sequence of the run
+    /// ([`RecoveryReport::adoptions`]). Adopting at or below the current
+    /// contiguous prefix is a no-op, so re-adopting a stream that migrated
+    /// back after this aggregator recovered is always safe.
+    pub fn adopt_source(&mut self, source: SourceId, upto: u64) {
+        self.store.adopt_prefix(source, upto);
+        let cum = self.store.contiguous(source);
+        let live = self.live_cum.entry(source).or_insert(0);
+        *live = (*live).max(cum);
+        // Exactly the adopted prefix is the previous receiver's durability
+        // promise and may be acked now; our own stored-but-unsynced tail
+        // (if contiguous runs past `upto`) still waits for its sync.
+        let synced = self.synced_cum.entry(source).or_insert(0);
+        *synced = (*synced).max(upto);
     }
 
     /// The underlying store (shared; series grow as batches are ingested).
@@ -1053,5 +1118,84 @@ mod tests {
         assert_eq!(report.quarantined, 1, "replay re-quarantines faithfully");
         assert_eq!(rec.store().stats().quarantined_batches, 1);
         assert_eq!(rec.store().total_samples(), 4);
+    }
+
+    #[test]
+    fn adopted_stream_acks_from_handoff_point() {
+        let storage = MemStorage::new();
+        let mut ds = DurableStore::create(storage.clone(), WalConfig::default()).unwrap();
+        // Take over source 0 at sequence 7 (the shipper's acked prefix at
+        // handoff): the first in-sequence delivery is 7, acked as 8.
+        ds.adopt_source(SourceId(0), 7);
+        assert_eq!(ds.store().contiguous(SourceId(0)), 7);
+        let (outcome, ack) = ds.ingest(&sb(7, 0, 100)).unwrap();
+        assert_eq!(outcome, SeqIngest::Stored);
+        assert_eq!(ack.cum, 8);
+        // A straggling redelivery from inside the adopted range is
+        // re-acked without being logged.
+        let bytes = ds.wal().total_bytes();
+        let (outcome, ack) = ds.ingest(&sb(3, 0, 50)).unwrap();
+        assert_eq!(outcome, SeqIngest::Duplicate);
+        assert_eq!(ack.cum, 8);
+        assert_eq!(ds.wal().total_bytes(), bytes, "duplicate not re-logged");
+        // Re-adopting at or below current progress is a no-op.
+        ds.adopt_source(SourceId(0), 5);
+        assert_eq!(ds.store().contiguous(SourceId(0)), 8);
+
+        // Recovery re-derives the adoption point from the log: the one
+        // record (seq 7) replays after adopting [0,7).
+        drop(ds);
+        let (rec, report) = DurableStore::recover(storage, WalConfig::default()).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(report.adoptions, 1);
+        assert_eq!(report.duplicates, 0, "the jump is adoption, not a bug");
+        assert_eq!(rec.store().contiguous(SourceId(0)), 8);
+    }
+
+    #[test]
+    fn adoption_does_not_promote_unsynced_tail_to_acked() {
+        let cfg = WalConfig {
+            segment_max_bytes: 1 << 20,
+            fsync: FsyncPolicy::EveryN(10),
+        };
+        let mut ds = DurableStore::create(MemStorage::new(), cfg).unwrap();
+        let (_, a0) = ds.ingest(&sb(0, 0, 100)).unwrap();
+        let (_, a1) = ds.ingest(&sb(1, 0, 200)).unwrap();
+        assert_eq!((a0.cum, a1.cum), (0, 0), "unsynced: acks withheld");
+        // A re-adoption at the shipper's acked prefix (0 — nothing acked
+        // yet) must not leak the stored-but-unsynced records into acks.
+        ds.adopt_source(SourceId(0), 0);
+        let (_, ack) = ds.ingest(&sb(5, 0, 900)).unwrap(); // reordered probe
+        assert_eq!(ack.cum, 0, "own unsynced tail still gated");
+        let released = ds.flush().unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].cum, 2, "sync releases the tail as usual");
+    }
+
+    #[test]
+    fn recover_replay_surfaces_every_clean_record_in_order() {
+        let storage = MemStorage::new();
+        let cfg = WalConfig {
+            segment_max_bytes: 256, // force rotation mid-stream
+            fsync: FsyncPolicy::Always,
+        };
+        let mut ds = DurableStore::create(storage.clone(), cfg).unwrap();
+        ds.adopt_source(SourceId(1), 4);
+        for i in 0..6u64 {
+            ds.ingest(&sb(4 + i, 1, 100 * (i + 1))).unwrap();
+        }
+        drop(ds);
+        let mut seen = Vec::new();
+        let (rec, report) = DurableStore::recover_replay(storage, cfg, &mut |sb| {
+            seen.push((sb.batch.source, sb.seq));
+        })
+        .unwrap();
+        assert_eq!(report.records, 6);
+        assert_eq!(report.adoptions, 1);
+        assert_eq!(
+            seen,
+            (0..6u64).map(|i| (SourceId(1), 4 + i)).collect::<Vec<_>>()
+        );
+        assert_eq!(rec.store().contiguous(SourceId(1)), 10);
     }
 }

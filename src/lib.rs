@@ -74,12 +74,14 @@ pub mod prelude {
     pub use uburst_asic::{AccessModel, AsicCounters, CounterId, StorageClass};
     pub use uburst_asic::{FaultInjector, FaultPlan, FaultStats};
     pub use uburst_core::{
-        tune_min_interval, AckMsg, Batch, BatchPolicy, CampaignConfig, ChannelSink, Collector,
-        CollectorError, CollectorHealth, CollectorReport, CoreMode, CrashPlan, DegradationPolicy,
-        DegradeMode, DirStorage, DurableStore, FsyncPolicy, GapLedger, LinkPlan, LossyLink,
-        MemStorage, MemorySink, PollError, Poller, PollerStats, QuarantineReason, RecoveryReport,
-        RetryPolicy, SampleStore, SeqBatch, SeqIngest, Series, ShipPolicy, Shipper, ShipperConfig,
-        SourceId, TornStorage, TuningConfig, UtilSample, WalConfig, WalError, WrapDecoder,
+        rendezvous_region, run_fleet, run_fleet_with_crashes, tune_min_interval, AckMsg, Batch,
+        BatchPolicy, CampaignConfig, ChannelSink, Collector, CollectorError, CollectorHealth,
+        CollectorReport, CoreMode, CoverageLedger, CrashPlan, DegradationPolicy, DegradeMode,
+        DirStorage, DurableStore, FleetConfig, FleetOutcome, FsyncPolicy, GapLedger, HealthPolicy,
+        HealthState, LinkPlan, LossyLink, MemStorage, MemorySink, PollError, Poller, PollerStats,
+        QuarantineReason, RecoveryReport, RegionCrashPlan, RetryPolicy, RoundInput, SampleStore,
+        SeqBatch, SeqIngest, Series, ShipPolicy, Shipper, ShipperConfig, SourceId, SwitchCoverage,
+        SwitchStream, TornStorage, TuningConfig, UtilSample, WalConfig, WalError, WrapDecoder,
     };
     pub use uburst_sim::prelude::*;
     pub use uburst_workloads::{

@@ -1,0 +1,461 @@
+//! Crash-offset sweep for the regional aggregation tier.
+//!
+//! PR 3 proved the shipping protocol converges over a lossy link; PR 7
+//! proved the WAL recovers exactly the acked prefix at every crash byte.
+//! This suite composes both with the new failover machinery: a regional
+//! aggregator dies at a byte-granular offset of its own WAL, its streams
+//! **fail over** to a survivor that adopts each one at the shipper's
+//! acked watermark ([`DurableStore::adopt_source`]), the dead region's
+//! WAL is later replayed into the global store
+//! ([`DurableStore::recover_replay`]), and the merged result must be
+//! byte-identical to the run where nothing crashed.
+//!
+//! Two layers, both swept over ≥ 200 seeded crash offsets:
+//!
+//! * **Component**: shippers → lossy links → crashable aggregator A, with
+//!   an explicit failover to aggregator B at the crash. Asserts the exact
+//!   invariants (fsync-always): A recovers *exactly* its acked prefix;
+//!   go-back-N resumes from each shipper's (possibly regressed) ack
+//!   watermark with no stall and no loss; replaying both WALs into one
+//!   global store reproduces the no-crash reference byte for byte.
+//! * **Fleet**: [`run_fleet_with_crashes`] per region per offset. Asserts
+//!   the coverage ledger tiles (`produced = stored + excluded + refused +
+//!   undelivered`) at every offset, the no-acked-loss floor
+//!   (`stored >= acked` per switch), crash/recovery/re-shard accounting,
+//!   and full byte-identical convergence to the crash-free fleet.
+//!
+//! Everything is seeded and single-threaded; `UBURST_THREADS` cannot
+//! touch it (the bench suite separately diffs fleet reports across
+//! worker-pool widths).
+
+use std::collections::BTreeMap;
+
+use uburst::prelude::*;
+use uburst::sim::node::PortId;
+
+const SEED: u64 = 0x0FA1_70FF;
+const SOURCES: u32 = 3;
+const BATCHES_PER_SOURCE: u64 = 20;
+const SAMPLES_PER_BATCH: u64 = 4;
+/// Small segments so the sweep crosses rotation boundaries.
+const SEGMENT_BYTES: usize = 512;
+/// Acceptance bar: at least this many crash offsets per sweep.
+const MIN_CRASH_POINTS: usize = 200;
+
+fn wal_config() -> WalConfig {
+    WalConfig {
+        segment_max_bytes: SEGMENT_BYTES,
+        fsync: FsyncPolicy::Always,
+    }
+}
+
+fn link_plan() -> LinkPlan {
+    LinkPlan {
+        drop_p: 0.10,
+        dup_p: 0.08,
+        delay_p: 0.15,
+        max_delay_ticks: 3,
+    }
+}
+
+fn make_batch(source: u32, i: u64) -> Batch {
+    let mut s = Series::new();
+    for k in 0..SAMPLES_PER_BATCH {
+        s.push(Nanos(1 + i * 100 + k), i * 10 + k);
+    }
+    Batch {
+        source: SourceId(source),
+        campaign: "failover".into(),
+        counter: CounterId::TxBytes(PortId(source as u16)),
+        samples: s,
+    }
+}
+
+fn fresh_shippers() -> Vec<Shipper> {
+    (0..SOURCES)
+        .map(|src| {
+            let mut sh = Shipper::new(
+                SourceId(src),
+                ShipperConfig {
+                    window: 8,
+                    rto_ticks: 4,
+                    ..ShipperConfig::default()
+                },
+            );
+            for i in 0..BATCHES_PER_SOURCE {
+                sh.offer(make_batch(src, i)).expect("under outstanding cap");
+            }
+            sh
+        })
+        .collect()
+}
+
+/// Drives shippers → lossy link → aggregator → lossy ack link → shippers
+/// until every batch is acked, or the aggregator's storage crashes.
+/// `acked` records the highest ack the aggregator actually *issued* per
+/// source — the durability promises outstanding when it dies (the ack
+/// may still be lost on the wire before the shipper sees it).
+///
+/// Per-record ingest: under fsync-always this is the mode where "recovery
+/// == acked prefix" is *exact* (a torn group can leave clean records
+/// whose acks were withheld; PR 7's suite pins the containment story for
+/// the grouped mode, and its byte-stream equivalence to this one).
+fn run_session<S: uburst::telemetry::wal::WalStorage>(
+    ds: &mut DurableStore<S>,
+    shippers: &mut [Shipper],
+    acked: &mut BTreeMap<SourceId, u64>,
+    link_salt: u64,
+) -> Result<(), WalError> {
+    let mut data_link: LossyLink<SeqBatch> = LossyLink::new(link_plan(), SEED ^ link_salt);
+    let mut ack_link: LossyLink<AckMsg> = LossyLink::new(link_plan(), SEED ^ link_salt ^ 1);
+    for _tick in 0u64..100_000 {
+        for sh in shippers.iter_mut() {
+            for sb in sh.tick() {
+                data_link.send(sb);
+            }
+        }
+        for sb in data_link.tick() {
+            let (_, ack) = ds.ingest(&sb)?;
+            let best = acked.entry(ack.source).or_insert(0);
+            *best = (*best).max(ack.cum);
+            ack_link.send(ack);
+        }
+        for ack in ack_link.tick() {
+            shippers[ack.source.0 as usize].on_ack(ack);
+        }
+        if shippers.iter().all(Shipper::done)
+            && data_link.in_flight() == 0
+            && ack_link.in_flight() == 0
+        {
+            return Ok(());
+        }
+    }
+    panic!("session livelocked: shippers never drained");
+}
+
+/// The no-crash reference: one aggregator, full session, intact storage.
+/// Returns the canonical CSV plus the WAL's byte layout (the crash plan's
+/// coordinate system).
+fn reference_run() -> (Vec<u8>, u64, Vec<u64>) {
+    let mut ds = DurableStore::create(MemStorage::new(), wal_config()).expect("create");
+    let mut shippers = fresh_shippers();
+    let mut acked = BTreeMap::new();
+    run_session(&mut ds, &mut shippers, &mut acked, 0).expect("no crash on intact storage");
+    let mut csv = Vec::new();
+    ds.store().export_csv(&mut csv).expect("export");
+    let wal = ds.wal();
+    (csv, wal.total_bytes(), wal.record_ends().to_vec())
+}
+
+/// Expected store content for a given acked prefix per source.
+fn prefix_csv(prefix: &BTreeMap<SourceId, u64>) -> Vec<u8> {
+    let store = SampleStore::new();
+    for (&source, &n) in prefix {
+        for i in 0..n {
+            store
+                .ingest(&make_batch(source.0, i))
+                .expect("prefix batches are well-formed");
+        }
+    }
+    let mut csv = Vec::new();
+    store.export_csv(&mut csv).expect("export");
+    csv
+}
+
+/// The component-level failover sweep — the satellite property test plus
+/// the exact-recovery tentpole invariant, at every crash offset:
+///
+/// 1. aggregator A dies at the offset; recovery of its WAL is *exactly*
+///    the prefix it acked (fsync-always), per source and in content;
+/// 2. survivor B adopts each stream at the shipper's ack watermark — a
+///    regression relative to everything sent — and plain go-back-N
+///    retransmission converges with no stall, no loss, no double-count;
+/// 3. replaying both regions' WALs into one global store reproduces the
+///    no-crash reference byte for byte (B's log re-derives its adoption
+///    points from the sequence jumps).
+#[test]
+fn failover_sweep_recovers_acked_prefix_and_converges() {
+    let (reference_csv, total_bytes, record_ends) = reference_run();
+    assert!(
+        total_bytes as usize > 4 * SEGMENT_BYTES,
+        "stream too small ({total_bytes} B) to cross segment boundaries"
+    );
+    let plan = CrashPlan::sweep(SEED, total_bytes, &record_ends, MIN_CRASH_POINTS);
+    assert!(
+        plan.len() >= MIN_CRASH_POINTS,
+        "sweep has only {} crash points",
+        plan.len()
+    );
+
+    let mut adoptions_seen = 0u64;
+    let mut regressions_seen = 0usize;
+    for &budget in plan.offsets() {
+        // ---- Phase 1: session against A until the injected crash ------
+        let a_disk = MemStorage::new();
+        let mut shippers = fresh_shippers();
+        let mut acked_at_a: BTreeMap<SourceId, u64> = BTreeMap::new();
+        let crashed =
+            match DurableStore::create(TornStorage::new(a_disk.clone(), budget), wal_config()) {
+                Ok(mut ds) => run_session(&mut ds, &mut shippers, &mut acked_at_a, 0).is_err(),
+                Err(e) => {
+                    assert!(e.is_injected_crash(), "unexpected real error: {e}");
+                    true
+                }
+            };
+        assert!(crashed, "budget {budget} < {total_bytes} must crash A");
+
+        // ---- Exact acked prefix out of A's WAL ------------------------
+        // The global store is what downstream figures read; A's replay is
+        // its only source for the crashed region's data.
+        let global = SampleStore::new();
+        let (_a_rec, a_report) =
+            DurableStore::recover_replay(a_disk.clone(), wal_config(), &mut |sb: &SeqBatch| {
+                global.ingest_seq(sb).expect("replayed records are clean");
+            })
+            .expect("recovery never fails on torn storage");
+        assert_eq!(a_report.duplicates, 0, "the log never holds a seq twice");
+        assert_eq!(a_report.adoptions, 0, "A owned every stream from seq 0");
+        for src in 0..SOURCES {
+            let source = SourceId(src);
+            // Under fsync-always each stored record was synced (and its
+            // ack releasable) before the next: the durable prefix IS the
+            // ack watermark A reached.
+            assert_eq!(
+                global.contiguous(source),
+                acked_at_a.get(&source).copied().unwrap_or(0),
+                "crash@{budget}: recovered global store != A's acked prefix for {source:?}"
+            );
+        }
+        let mut global_csv = Vec::new();
+        global.export_csv(&mut global_csv).expect("export");
+        assert_eq!(
+            global_csv,
+            prefix_csv(&acked_at_a),
+            "crash@{budget}: recovered content is not the acked prefix"
+        );
+
+        // ---- Phase 2: failover to survivor B --------------------------
+        // The shipper's view can lag A's durable watermark (acks were
+        // lost on the wire): that is the ack-watermark regression the
+        // satellite property is about. B adopts at the *shipper's* view,
+        // go-back-N resends everything above it, dedup absorbs overlap
+        // with what A already durably holds.
+        let b_disk = MemStorage::new();
+        let mut b = DurableStore::create(b_disk.clone(), wal_config()).expect("create B");
+        for sh in shippers.iter() {
+            let base = sh.cum_acked();
+            if base < acked_at_a.get(&sh.source()).copied().unwrap_or(0) {
+                regressions_seen += 1;
+            }
+            b.adopt_source(sh.source(), base);
+        }
+        let mut acked_at_b = BTreeMap::new();
+        run_session(&mut b, &mut shippers, &mut acked_at_b, 0xFA11_0F34)
+            .expect("no second crash on intact storage");
+        for sh in &shippers {
+            assert_eq!(
+                b.store().contiguous(sh.source()),
+                BATCHES_PER_SOURCE,
+                "crash@{budget}: B did not converge for {:?}",
+                sh.source()
+            );
+        }
+
+        // ---- Merge: both WALs replayed into the global store ----------
+        let (_b_rec, b_report) =
+            DurableStore::recover_replay(b_disk.clone(), wal_config(), &mut |sb: &SeqBatch| {
+                global.ingest_seq(sb).expect("replayed records are clean");
+            })
+            .expect("B's recovery");
+        adoptions_seen += b_report.adoptions;
+        let mut merged_csv = Vec::new();
+        global.export_csv(&mut merged_csv).expect("export");
+        assert_eq!(
+            merged_csv, reference_csv,
+            "crash@{budget}: merged failover run != no-crash reference"
+        );
+        // Ledger tiles: with the shippers' watermarks announced, received
+        // + missing covers the assigned range exactly — and nothing is
+        // missing after convergence.
+        for sh in &shippers {
+            global.note_watermark(sh.source(), sh.next_seq());
+        }
+        let ledger = global.ledger();
+        for sh in &shippers {
+            let source = sh.source();
+            assert_eq!(
+                ledger.received_count(source),
+                BATCHES_PER_SOURCE,
+                "crash@{budget}: ledger not full for {source:?}"
+            );
+            assert!(
+                ledger.gaps(source).is_empty(),
+                "crash@{budget}: gaps after convergence for {source:?}"
+            );
+        }
+    }
+    assert!(
+        adoptions_seen > 0,
+        "the sweep never exercised adoption-point re-derivation from B's log"
+    );
+    assert!(
+        regressions_seen > 0,
+        "the sweep never produced an ack-watermark regression — lossy ack \
+         path is not doing its job"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Fleet-level sweep
+// ---------------------------------------------------------------------
+
+const FLEET_SWITCHES: u32 = 4;
+const FLEET_ROUNDS: u32 = 10;
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        regions: 2,
+        drain_rounds: 12,
+        region_wal: WalConfig {
+            segment_max_bytes: SEGMENT_BYTES,
+            fsync: FsyncPolicy::Always,
+        },
+        ..FleetConfig::default()
+    }
+}
+
+fn fleet_streams() -> Vec<SwitchStream> {
+    (0..FLEET_SWITCHES)
+        .map(|src| {
+            let rounds = (0..FLEET_ROUNDS)
+                .map(|r| {
+                    let mut s = Series::new();
+                    for k in 0..SAMPLES_PER_BATCH {
+                        s.push(Nanos(1 + r as u64 * 100 + k), r as u64 * 10 + k);
+                    }
+                    RoundInput {
+                        batches: vec![Batch {
+                            source: SourceId(src),
+                            campaign: "fleet-failover".into(),
+                            counter: CounterId::TxBytes(PortId(src as u16)),
+                            samples: s,
+                        }],
+                        degraded: false,
+                    }
+                })
+                .collect();
+            SwitchStream {
+                source: SourceId(src),
+                link: LinkPlan::IDEAL,
+                link_seed: SEED ^ src as u64,
+                rounds,
+            }
+        })
+        .collect()
+}
+
+/// The fleet-level crash-offset sweep: for every region, ≥ 200 byte
+/// offsets across its reference WAL stream. At every offset the coverage
+/// ledger must tile, no acked batch may be lost, the crash must be fully
+/// accounted (crash + recovery + re-shard round trip), and the final
+/// store must be byte-identical to the crash-free fleet.
+#[test]
+fn fleet_crash_offset_sweep_tiles_and_converges() {
+    let cfg = fleet_config();
+    let reference = run_fleet(fleet_streams(), &cfg);
+    let mut reference_csv = Vec::new();
+    reference
+        .store
+        .export_csv(&mut reference_csv)
+        .expect("export");
+    assert_eq!(reference.coverage.sample_fraction(), 1.0);
+    assert!(
+        reference.regions.iter().all(|r| r.switches > 0),
+        "rendezvous homed switches on both regions (else the sweep is vacuous)"
+    );
+
+    for region in 0..cfg.regions {
+        let wal_bytes = reference.regions[region].wal_bytes;
+        let plan = CrashPlan::sweep(
+            SEED ^ region as u64,
+            wal_bytes,
+            &reference.region_record_ends[region],
+            MIN_CRASH_POINTS,
+        );
+        assert!(
+            plan.len() >= MIN_CRASH_POINTS,
+            "region {region}: sweep has only {} offsets",
+            plan.len()
+        );
+        for crash in RegionCrashPlan::sweep_region(region, &plan) {
+            let offset = crash.budget(region).unwrap();
+            let out = run_fleet_with_crashes(fleet_streams(), &cfg, &crash);
+
+            // Crash fully accounted: it happened, it recovered, and the
+            // victim's switches made a re-shard round trip.
+            assert_eq!(
+                out.regions[region].crashes, 1,
+                "region {region} crash@{offset}: no crash recorded"
+            );
+            assert_eq!(
+                out.regions[region].recoveries, 1,
+                "region {region} crash@{offset}: no recovery"
+            );
+            assert_eq!(out.regions[1 - region].crashes, 0);
+            assert!(
+                out.coverage.resharded() > 0,
+                "region {region} crash@{offset}: nobody re-sharded"
+            );
+
+            // The ledger tiles and never loses acked data — at every
+            // single offset.
+            for s in &out.coverage.switches {
+                assert_eq!(
+                    s.produced,
+                    s.stored + s.excluded + s.refused + s.undelivered(),
+                    "region {region} crash@{offset}: ledger does not tile for switch {}",
+                    s.source.0
+                );
+                assert!(
+                    s.stored >= s.acked,
+                    "region {region} crash@{offset}: switch {} lost acked data \
+                     (stored {} < acked {})",
+                    s.source.0,
+                    s.stored,
+                    s.acked
+                );
+            }
+
+            // Full convergence: the crash is invisible in the data.
+            assert_eq!(
+                out.coverage.sample_fraction(),
+                1.0,
+                "region {region} crash@{offset}: coverage not full"
+            );
+            let mut csv = Vec::new();
+            out.store.export_csv(&mut csv).expect("export");
+            assert_eq!(
+                csv, reference_csv,
+                "region {region} crash@{offset}: store != crash-free reference"
+            );
+        }
+    }
+}
+
+/// Crash runs are as deterministic as clean runs: the same plan twice
+/// yields byte-identical coverage text and store content (the CI job
+/// additionally diffs the full `ext_fleet` stdout across thread counts).
+#[test]
+fn fleet_crash_runs_are_deterministic() {
+    let cfg = fleet_config();
+    let reference = run_fleet(fleet_streams(), &cfg);
+    let offset = reference.regions[0].wal_bytes / 3;
+    let crash = RegionCrashPlan::kill(0, offset);
+    let a = run_fleet_with_crashes(fleet_streams(), &cfg, &crash);
+    let b = run_fleet_with_crashes(fleet_streams(), &cfg, &crash);
+    assert_eq!(a.coverage.to_string(), b.coverage.to_string());
+    let (mut csv_a, mut csv_b) = (Vec::new(), Vec::new());
+    a.store.export_csv(&mut csv_a).expect("export");
+    b.store.export_csv(&mut csv_b).expect("export");
+    assert_eq!(csv_a, csv_b);
+}
