@@ -1,5 +1,38 @@
 //! Pearson correlation (Fig. 1's corr coefficient, Fig. 8's heatmaps).
 
+/// Number of independent accumulator lanes in the dot-product kernels.
+///
+/// A single running sum is a serial dependency chain: each add waits on
+/// the previous one (~4 cycles on current cores), capping the campaign-
+/// length dot products that dominate the k×k matrices at one element per
+/// add latency. Four interleaved lanes keep the FP adder pipeline full.
+/// The lane split and the combine order `(a0+a2)+(a1+a3)` then the tail
+/// are part of the *defined* summation order: [`pearson`],
+/// [`CenteredMatrix::new`], and [`CenteredMatrix::entry`] all use the
+/// same scheme, which is what keeps them bit-identical to each other.
+const LANES: usize = 4;
+
+/// Dot product accumulated in [`LANES`] independent lanes (lane `l` sums
+/// elements `l, l+LANES, …`), combined `(a0+a2)+(a1+a3)`, then the
+/// remainder tail added serially.
+fn dot_lanes(xs: &[f64], ys: &[f64]) -> f64 {
+    let split = xs.len() - xs.len() % LANES;
+    let mut acc = [0.0f64; LANES];
+    for (xc, yc) in xs[..split]
+        .chunks_exact(LANES)
+        .zip(ys[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            acc[l] += xc[l] * yc[l];
+        }
+    }
+    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for (&x, &y) in xs[split..].iter().zip(&ys[split..]) {
+        sum += x * y;
+    }
+    sum
+}
+
 /// Pearson correlation coefficient of two equal-length samples.
 ///
 /// Returns 0.0 when either sample has zero variance (a flat series is
@@ -14,10 +47,28 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
     let n = xs.len() as f64;
     let mx = xs.iter().sum::<f64>() / n;
     let my = ys.iter().sum::<f64>() / n;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    let mut syy = 0.0;
-    for (&x, &y) in xs.iter().zip(ys) {
+    // One pass, three sums, each in the same lane scheme as `dot_lanes`
+    // so this stays bit-identical to `CenteredMatrix::entry`.
+    let split = xs.len() - xs.len() % LANES;
+    let mut axy = [0.0f64; LANES];
+    let mut axx = [0.0f64; LANES];
+    let mut ayy = [0.0f64; LANES];
+    for (xc, yc) in xs[..split]
+        .chunks_exact(LANES)
+        .zip(ys[..split].chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            let dx = xc[l] - mx;
+            let dy = yc[l] - my;
+            axy[l] += dx * dy;
+            axx[l] += dx * dx;
+            ayy[l] += dy * dy;
+        }
+    }
+    let mut sxy = (axy[0] + axy[2]) + (axy[1] + axy[3]);
+    let mut sxx = (axx[0] + axx[2]) + (axx[1] + axx[3]);
+    let mut syy = (ayy[0] + ayy[2]) + (ayy[1] + ayy[3]);
+    for (&x, &y) in xs[split..].iter().zip(&ys[split..]) {
         let dx = x - mx;
         let dy = y - my;
         sxy += dx * dy;
@@ -60,7 +111,7 @@ impl CenteredMatrix {
         for s in series {
             let m = s.iter().sum::<f64>() / n as f64;
             let c: Vec<f64> = s.iter().map(|&x| x - m).collect();
-            sq_norms.push(c.iter().map(|&d| d * d).sum::<f64>());
+            sq_norms.push(dot_lanes(&c, &c));
             centered.push(c);
         }
         let norms: Vec<f64> = sq_norms.iter().map(|&s| s.sqrt()).collect();
@@ -90,11 +141,7 @@ impl CenteredMatrix {
         if self.sq_norms[i] == 0.0 || self.sq_norms[j] == 0.0 {
             return 0.0;
         }
-        let sxy: f64 = self.centered[i]
-            .iter()
-            .zip(&self.centered[j])
-            .map(|(&dx, &dy)| dx * dy)
-            .sum();
+        let sxy = dot_lanes(&self.centered[i], &self.centered[j]);
         (sxy / (self.norms[i] * self.norms[j])).clamp(-1.0, 1.0)
     }
 

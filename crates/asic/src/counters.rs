@@ -15,11 +15,13 @@
 //! All cells use interior mutability (`Cell`) because the switch data path
 //! writes them while the polling framework holds a shared reference.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::fmt;
 use std::rc::Rc;
 
-use uburst_sim::counters::CounterSink;
+use uburst_sim::counters::{CounterSink, FlushHook};
 use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
 
 /// RMON-style packet-size histogram bin boundaries (inclusive upper edges,
 /// in frame bytes). Mirrors the etherStatsPkts64/128/256/512/1024/1518
@@ -110,10 +112,23 @@ const OFF_TX_HIST: usize = 5 + N_SIZE_BINS;
 /// then the buffer level and peak registers — so a resolved counter is a
 /// single index away and a batch of counters reads contiguously-allocated
 /// cells, like the register file it models.
-#[derive(Debug)]
 pub struct AsicCounters {
     cells: Vec<Cell<u64>>,
     n_ports: usize,
+    /// Settlement callbacks registered by hybrid-mode writers (see
+    /// [`CounterSink::register_flush`]); run by [`AsicCounters::flush_to`]
+    /// before the poller samples the bank.
+    flush_hooks: RefCell<Vec<FlushHook>>,
+}
+
+impl fmt::Debug for AsicCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AsicCounters")
+            .field("n_ports", &self.n_ports)
+            .field("n_cells", &self.cells.len())
+            .field("flush_hooks", &self.flush_hooks.borrow().len())
+            .finish()
+    }
 }
 
 impl AsicCounters {
@@ -130,6 +145,17 @@ impl AsicCounters {
                 .map(|_| Cell::new(0))
                 .collect(),
             n_ports,
+            flush_hooks: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Runs every registered flush hook so deferred (hybrid fast-forward)
+    /// writers settle their accounting into the bank up to `now`. The
+    /// poller calls this before sampling; in per-packet mode no hooks are
+    /// registered and this is a no-op.
+    pub fn flush_to(&self, now: Nanos) {
+        for hook in self.flush_hooks.borrow().iter() {
+            hook(self, now);
         }
     }
 
@@ -250,6 +276,10 @@ impl CounterSink for AsicCounters {
         if used_bytes > peak.get() {
             peak.set(used_bytes);
         }
+    }
+
+    fn register_flush(&self, hook: FlushHook) {
+        self.flush_hooks.borrow_mut().push(hook);
     }
 }
 

@@ -36,5 +36,18 @@ fn main() {
         median * 1e3,
         events as f64 / median / 1e6
     );
+
+    println!("== hybrid fast-forward engine (forced on) ==");
+    // The rack rows above follow `UBURST_HYBRID`, so this row pins the
+    // hybrid engine explicitly: it keeps measuring the fast-forward path
+    // even in a per-packet (`UBURST_HYBRID=0`) bench run, and the gate's
+    // baseline for it can never silently flip execution modes.
+    bench(&mut rec, "hybrid_fastforward_hadoop", 10, || {
+        let mut cfg = ScenarioConfig::new(RackType::Hadoop, 9);
+        cfg.hybrid = Some(true);
+        let mut s = build_scenario(cfg);
+        s.sim.run_until(Nanos::from_millis(20));
+        s.sim.dispatched()
+    });
     rec.flush();
 }

@@ -75,6 +75,38 @@ fn check_harness(name: &str, baseline: &[BenchRow], fresh: &[BenchRow], max_rati
     failures
 }
 
+/// Cross-case invariant inside the fresh analysis results: the pooled
+/// Pearson driver must not be slower than the serial one. On a one-core
+/// host the pooled path degenerates to the serial kernel plus fixed
+/// chunking overhead, so "pooled ≤ serial" holds whenever that overhead
+/// is negligible — this gate is what catches it creeping back (as it did
+/// when the pair-chunk fan-out shipped with a latency-bound dot kernel).
+/// A small tolerance absorbs run-to-run noise between the two rows.
+const POOLED_CASE: &str = "pearson_pooled_24x100k";
+const SERIAL_CASE: &str = "pearson_matrix_24x100k";
+const POOLED_TOLERANCE: f64 = 1.10;
+
+fn check_pooled_not_slower(fresh: &[BenchRow]) -> usize {
+    let (Some(pooled), Some(serial)) = (
+        fresh.iter().find(|r| r.case == POOLED_CASE),
+        fresh.iter().find(|r| r.case == SERIAL_CASE),
+    ) else {
+        println!("  pooled-vs-serial: rows missing, skipped");
+        return 0;
+    };
+    let ratio = pooled.median_ms / serial.median_ms;
+    let verdict = if ratio > POOLED_TOLERANCE {
+        "REGRESSED"
+    } else {
+        "ok"
+    };
+    println!(
+        "  pooled-vs-serial: {:.4} / {:.4} = {ratio:.2}x  {verdict}",
+        pooled.median_ms, serial.median_ms
+    );
+    usize::from(ratio > POOLED_TOLERANCE)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 || args.len() > 3 {
@@ -116,6 +148,9 @@ fn main() -> ExitCode {
             }
         };
         failures += check_harness(name, &base, &new, max_ratio);
+        if *name == "analysis" {
+            failures += check_pooled_not_slower(&new);
+        }
         println!();
     }
 

@@ -1,0 +1,127 @@
+//! Byte-identity of the hybrid fast-forward engine.
+//!
+//! The contract of `uburst_sim::fastfwd` is *exactness*, not
+//! approximation: every counter readout at every poll instant — and every
+//! post-run statistic a figure is built from — must be byte-identical
+//! between per-packet and hybrid execution. These tests run full
+//! measurement campaigns for every rack type in both modes (forced
+//! in-process via `ScenarioConfig::hybrid`, independent of the
+//! `UBURST_HYBRID` environment) and diff everything a harness can observe:
+//! sampled timelines (timestamps and values), poller behaviour, switch
+//! totals, per-port drop registers, and transport diagnostics.
+//!
+//! Scenarios the engine cannot fast-forward exactly (paced NICs) are not
+//! approximated — the NIC keeps its per-packet event path — so they are in
+//! the matrix too and must likewise be identical.
+
+use uburst_asic::CounterId;
+use uburst_bench::campaign::{buffer_and_ports_spec, single_port_spec, CampaignRun, CampaignSpec};
+use uburst_sim::node::PortId;
+use uburst_sim::time::Nanos;
+use uburst_workloads::scenario::{RackType, ScenarioConfig};
+
+/// Runs `spec` in both execution modes and asserts every observable is
+/// byte-identical. Returns the packet-mode run for extra assertions.
+fn assert_modes_identical(spec: CampaignSpec, label: &str) -> CampaignRun {
+    let mut packet_spec = spec.clone();
+    packet_spec.cfg.hybrid = Some(false);
+    let mut hybrid_spec = spec;
+    hybrid_spec.cfg.hybrid = Some(true);
+    let packet = packet_spec.run();
+    let hybrid = hybrid_spec.run();
+
+    assert_eq!(
+        packet.series.len(),
+        hybrid.series.len(),
+        "{label}: series count"
+    );
+    for ((pc, ps), (hc, hs)) in packet.series.iter().zip(hybrid.series.iter()) {
+        assert_eq!(pc, hc, "{label}: counter order");
+        assert_eq!(ps.ts, hs.ts, "{label}: {pc:?} poll timestamps");
+        assert_eq!(ps.vs, hs.vs, "{label}: {pc:?} sampled values");
+    }
+    assert_eq!(
+        packet.poller_stats, hybrid.poller_stats,
+        "{label}: poller stats"
+    );
+    assert_eq!(packet.fault_stats, hybrid.fault_stats, "{label}: faults");
+    assert_eq!(packet.net.tor, hybrid.net.tor, "{label}: ToR totals");
+    assert_eq!(
+        packet.net.port_drops, hybrid.net.port_drops,
+        "{label}: per-port drops"
+    );
+    assert_eq!(
+        packet.net.transport, hybrid.net.transport,
+        "{label}: transport diagnostics"
+    );
+    packet
+}
+
+#[test]
+fn single_port_timeline_identical_web() {
+    let cfg = ScenarioConfig::new(RackType::Web, 42);
+    let (spec, _) = single_port_spec(cfg, Some(3), Nanos::from_micros(25), Nanos::from_millis(15));
+    let run = assert_modes_identical(spec, "web/25us");
+    assert!(run.net.tor.tx_bytes > 0, "campaign must see traffic");
+}
+
+#[test]
+fn single_port_timeline_identical_cache() {
+    let cfg = ScenarioConfig::new(RackType::Cache, 7);
+    let (spec, _) = single_port_spec(cfg, None, Nanos::from_micros(50), Nanos::from_millis(15));
+    assert_modes_identical(spec, "cache/50us");
+}
+
+#[test]
+fn single_port_timeline_identical_hadoop() {
+    let cfg = ScenarioConfig::new(RackType::Hadoop, 9);
+    let (spec, _) = single_port_spec(cfg, Some(1), Nanos::from_micros(25), Nanos::from_millis(15));
+    let run = assert_modes_identical(spec, "hadoop/25us");
+    // Hadoop is the bulk rack: the campaign must exercise real congestion
+    // or the equivalence is vacuous.
+    assert!(
+        run.net.tor.dropped_packets > 0,
+        "hadoop campaign saw no congestion"
+    );
+}
+
+#[test]
+fn buffer_peak_register_identical_under_congestion() {
+    // BufferPeak is the destructive (read-and-clear) register: the lazy
+    // settlement path must reproduce its exact read/re-seed sequence, not
+    // just final totals.
+    let cfg = ScenarioConfig::new(RackType::Hadoop, 21);
+    let (spec, _) = buffer_and_ports_spec(cfg, Nanos::from_micros(100), Nanos::from_millis(15));
+    let run = assert_modes_identical(spec, "hadoop/buffer-peak");
+    let peak = run.series_for(CounterId::BufferPeak);
+    assert!(
+        peak.vs.iter().any(|&v| v > 0),
+        "peak register never engaged"
+    );
+}
+
+#[test]
+fn paced_nics_fall_back_without_divergence() {
+    // Pacing makes per-packet timing load-bearing on the hosts, so the
+    // hybrid engine refuses to fast-forward those NICs (they keep the
+    // event path) rather than approximating. Everything must still match.
+    let mut cfg = ScenarioConfig::new(RackType::Web, 5);
+    cfg.nic_pace_bps = Some(5_000_000_000);
+    let (spec, _) = single_port_spec(cfg, Some(2), Nanos::from_micros(50), Nanos::from_millis(10));
+    assert_modes_identical(spec, "web/paced");
+}
+
+#[test]
+fn instrumented_fabric_tier_identical() {
+    // Fabric switches get their own counter banks here: their flush hooks
+    // must settle independently of the ToR's.
+    let mut cfg = ScenarioConfig::new(RackType::Cache, 33);
+    cfg.instrument_fabric = true;
+    let (spec, _) = single_port_spec(
+        cfg,
+        Some(PortId(0).0 as usize),
+        Nanos::from_micros(100),
+        Nanos::from_millis(10),
+    );
+    assert_modes_identical(spec, "cache/fabric-instrumented");
+}

@@ -445,6 +445,10 @@ impl Poller {
         // forward — no bytes are lost because the counter is cumulative and
         // the next real read catches up the delta.
         let shed = self.campaign.counters.len() - self.active_n;
+        // Hybrid fast-forward defers datapath accounting; settle the bank
+        // to the read instant so sampled values are byte-identical to
+        // per-packet mode. No-op when nothing registered a flush hook.
+        self.bank.flush_to(now);
         self.bank
             .read_planned(&self.plan, self.active_n, &mut self.read_buf);
         for i in 0..self.active_n {

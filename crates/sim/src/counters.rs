@@ -12,6 +12,14 @@
 use std::rc::Rc;
 
 use crate::node::PortId;
+use crate::time::Nanos;
+
+/// A deferred-accounting hook registered by a switch running in hybrid
+/// fast-forward mode (see [`crate::fastfwd`]). Called with the sink itself
+/// and a timestamp, it must apply every departure at or before that instant
+/// to the sink, so that a counter read at the instant observes values
+/// byte-identical to packet mode.
+pub type FlushHook = Box<dyn Fn(&dyn CounterSink, Nanos)>;
 
 /// Receives per-packet accounting from a switch.
 pub trait CounterSink {
@@ -25,6 +33,12 @@ pub trait CounterSink {
     /// The shared buffer's occupancy changed to `used_bytes`. Sinks that
     /// model a peak register track the maximum between reads.
     fn buffer_level(&self, used_bytes: u64);
+    /// Registers a hybrid-mode flush hook (see [`FlushHook`]). Sinks that
+    /// are read mid-run at poll instants (the ASIC counter bank) store the
+    /// hook and invoke it before every read; sinks nobody reads ignore it —
+    /// their switches are settled by the simulator at run boundaries
+    /// instead.
+    fn register_flush(&self, _hook: FlushHook) {}
 }
 
 /// A sink that discards everything; for switches nobody measures.

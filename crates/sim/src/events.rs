@@ -1,10 +1,18 @@
 //! The discrete-event calendar.
 //!
 //! A bucketed **calendar queue / timer-wheel hybrid** keyed on
-//! `(time, sequence)`. The sequence number makes ordering total and
-//! deterministic: two events scheduled for the same instant fire in the
-//! order they were scheduled, which keeps simulations bit-reproducible
-//! regardless of queue internals.
+//! `(time, ord)`, where `ord` is a canonical same-instant rank computed at
+//! schedule time (see [`Event::key`]). The rank makes ordering total,
+//! deterministic, and — crucially for the hybrid fast-forward engine
+//! ([`crate::fastfwd`]) — independent of scheduling history: at one
+//! instant, transmit completions drain buffers first, then packets arrive
+//! (per receiving node and port), then timers fire; within one rank class
+//! events keep schedule order. Packet mode and hybrid mode schedule
+//! different event *sets* (hybrid never materializes `TxComplete`), so a
+//! raw global sequence number would order the same physical coincidence
+//! differently in each mode; the canonical rank gives both modes the same
+//! answer, which is what makes lazy settlement of departures at
+//! `dep <= now` exact rather than approximately right.
 //!
 //! ## Why not a binary heap
 //!
@@ -22,7 +30,9 @@
 //! * The **wheel** covers absolute bucket indices `[next_abs, wheel_end)`
 //!   (bucket = `time >> BUCKET_SHIFT`), at most [`N_BUCKETS`] wide. Events
 //!   in this window sit unsorted in their bucket; a 64×64 occupancy bitmap
-//!   finds the next non-empty bucket without scanning empty ones.
+//!   topped by a one-word summary finds the next non-empty bucket with two
+//!   find-first-set instructions, so sparse (fast-forwarded) calendars skip
+//!   arbitrarily long empty-bucket runs in O(1).
 //! * The **current bucket** (`cur`) is the activated bucket, sorted
 //!   descending by `(time, seq)` and drained from the back. An event
 //!   scheduled at or before the activated bucket (same-time timers,
@@ -53,6 +63,9 @@ const N_BUCKETS: usize = 4096;
 const BUCKET_MASK: u64 = (N_BUCKETS as u64) - 1;
 /// Occupancy bitmap words (64 buckets per word).
 const OCC_WORDS: usize = N_BUCKETS / 64;
+// The summary bitmap (`EventQueue::occ_sum`) packs one bit per occupancy
+// word into a single u64; the wheel geometry must keep that exact.
+const _: () = assert!(OCC_WORDS == 64);
 
 /// Everything that can happen in the simulator.
 ///
@@ -92,17 +105,57 @@ pub enum EventKind {
 pub struct Event {
     /// When the event fires.
     pub time: Nanos,
-    seq: u64,
+    /// Canonical same-instant rank (see [`Event::key`]); computed once at
+    /// schedule time.
+    ord: u64,
     /// What happens.
     pub kind: EventKind,
 }
 
+/// Same-instant rank classes, highest bits of [`Event::key`]'s second
+/// component: buffer-draining completions before arrivals before timers.
+const RANK_TX_COMPLETE: u64 = 0;
+const RANK_ARRIVE: u64 = 1;
+const RANK_TIMER: u64 = 2;
+
+/// Bit widths of the packed `ord` word: `rank(2) | node(16) | port(12) |
+/// seq(34)`. `schedule` asserts each field fits.
+const ORD_SEQ_BITS: u32 = 34;
+const ORD_PORT_BITS: u32 = 12;
+const ORD_NODE_BITS: u32 = 16;
+
+fn ord_of(kind: &EventKind, seq: u64) -> u64 {
+    let (rank, node, port) = match *kind {
+        EventKind::TxComplete { node, port } => (RANK_TX_COMPLETE, node.0, port.0),
+        EventKind::PacketArrive { node, port, .. } => (RANK_ARRIVE, node.0, port.0),
+        // Timers carry no canonical sub-key: same-node ties keep schedule
+        // order via `seq`, which both execution modes produce identically
+        // (timers are only ever scheduled from arrival/timer dispatches).
+        EventKind::Timer { node, .. } => (RANK_TIMER, node.0, 0),
+    };
+    assert!(
+        u64::from(node) < (1 << ORD_NODE_BITS)
+            && u64::from(port) < (1 << ORD_PORT_BITS)
+            && seq < (1 << ORD_SEQ_BITS),
+        "event ord field overflow: node {node}, port {port}, seq {seq}"
+    );
+    rank << (ORD_NODE_BITS + ORD_PORT_BITS + ORD_SEQ_BITS)
+        | u64::from(node) << (ORD_PORT_BITS + ORD_SEQ_BITS)
+        | u64::from(port) << ORD_SEQ_BITS
+        | seq
+}
+
 impl Event {
-    /// The total-order key: earlier time first, scheduling order within a
-    /// time. Public so batch consumers (the simulator's slice loop) can
-    /// compare a buffered event against [`EventQueue::pop_if_before`].
+    /// The total-order key: earlier time first; within one instant the
+    /// canonical rank — transmit completions, then arrivals ordered by
+    /// `(node, port)`, then timers — with schedule order breaking what
+    /// remains. The rank is a pure function of the event's content plus a
+    /// within-class sequence, so both execution modes order the same
+    /// physical coincidences identically (see the module docs). Public so
+    /// batch consumers (the simulator's slice loop) can compare a buffered
+    /// event against [`EventQueue::pop_if_before`].
     pub fn key(&self) -> (u64, u64) {
-        (self.time.0, self.seq)
+        (self.time.0, self.ord)
     }
 }
 
@@ -132,6 +185,12 @@ pub struct EventQueue {
     buckets: Vec<Vec<Event>>,
     /// Occupancy bitmap over `buckets` (bit set ⇔ bucket non-empty).
     occ: [u64; OCC_WORDS],
+    /// Summary over `occ` (bit `w` set ⇔ `occ[w] != 0`). `OCC_WORDS` is
+    /// exactly 64, so the whole wheel's occupancy collapses into one word
+    /// and finding the next non-empty bucket is two find-first-set
+    /// instructions instead of a scan over up to 64 empty words — the case
+    /// a fast-forwarded (sparse) calendar hits on almost every pop.
+    occ_sum: u64,
     /// The activated bucket, sorted descending by `(time, seq)`; popped
     /// from the back.
     cur: Vec<Event>,
@@ -174,6 +233,7 @@ impl EventQueue {
         EventQueue {
             buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
             occ: [0; OCC_WORDS],
+            occ_sum: 0,
             cur: Vec::with_capacity(cap.clamp(16, 4096)),
             next_abs: 0,
             wheel_end: N_BUCKETS as u64,
@@ -192,14 +252,18 @@ impl EventQueue {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.len += 1;
-        let ev = Event { time, seq, kind };
+        let ev = Event {
+            time,
+            ord: ord_of(&kind, seq),
+            kind,
+        };
         let abs = time.0 >> BUCKET_SHIFT;
         if abs < self.next_abs {
             // At or before the activated bucket: merge into the sorted
-            // drain at the exact (time, seq) position. `cur` is sorted
+            // drain at the exact (time, ord) position. `cur` is sorted
             // descending, so the insertion point is after every event with
-            // a strictly greater key. `seq` is the largest ever issued, so
-            // same-time events keep schedule order.
+            // a strictly greater key; within a rank class the fresh seq is
+            // the largest ever issued, so schedule order is kept.
             let key = ev.key();
             let idx = self.cur.partition_point(|e| e.key() > key);
             self.cur.insert(idx, ev);
@@ -207,6 +271,7 @@ impl EventQueue {
             let slot = (abs & BUCKET_MASK) as usize;
             self.buckets[slot].push(ev);
             self.occ[slot / 64] |= 1u64 << (slot % 64);
+            self.occ_sum |= 1u64 << (slot / 64);
             self.wheel_len += 1;
         } else {
             self.overflow_min = self.overflow_min.min(time);
@@ -350,15 +415,15 @@ impl EventQueue {
         let slot = if first != 0 {
             w0 * 64 + first.trailing_zeros() as usize
         } else {
-            let mut found = None;
-            for i in 1..=OCC_WORDS {
-                let w = (w0 + i) % OCC_WORDS;
-                if self.occ[w] != 0 {
-                    found = Some(w * 64 + self.occ[w].trailing_zeros() as usize);
-                    break;
-                }
-            }
-            found.expect("wheel_len > 0 but no occupancy bit set")
+            // Rotate the summary so bit 0 is the word after the cursor's:
+            // bit j of `r` ⇔ `occ[(w0 + 1 + j) % 64] != 0`. The first set
+            // bit is the next occupied word in circular order, checking
+            // the cursor's own word last (its remaining low bits belong to
+            // the wrapped end of the window).
+            let r = self.occ_sum.rotate_right(((w0 + 1) % OCC_WORDS) as u32);
+            assert!(r != 0, "wheel_len > 0 but no occupancy bit set");
+            let w = (w0 + 1 + r.trailing_zeros() as usize) % OCC_WORDS;
+            w * 64 + self.occ[w].trailing_zeros() as usize
         };
         self.next_abs + ((slot + N_BUCKETS - p) % N_BUCKETS) as u64
     }
@@ -371,6 +436,9 @@ impl EventQueue {
         debug_assert!(self.cur.is_empty());
         std::mem::swap(&mut self.cur, &mut self.buckets[slot]);
         self.occ[slot / 64] &= !(1u64 << (slot % 64));
+        if self.occ[slot / 64] == 0 {
+            self.occ_sum &= !(1u64 << (slot / 64));
+        }
         self.wheel_len -= self.cur.len();
         self.next_abs = abs + 1;
         // Keys are unique (seq is), so an unstable sort is deterministic.
@@ -392,6 +460,7 @@ impl EventQueue {
                 let slot = (abs & BUCKET_MASK) as usize;
                 self.buckets[slot].push(ev);
                 self.occ[slot / 64] |= 1u64 << (slot % 64);
+                self.occ_sum |= 1u64 << (slot / 64);
                 self.wheel_len += 1;
             } else {
                 self.overflow_min = self.overflow_min.min(ev.time);

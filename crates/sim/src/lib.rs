@@ -38,6 +38,7 @@
 pub mod arena;
 pub mod counters;
 pub mod events;
+pub mod fastfwd;
 pub mod fasthash;
 pub mod link;
 pub mod nic;

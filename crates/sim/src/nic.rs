@@ -39,7 +39,8 @@ impl Default for NicConfig {
 pub const NIC_PACE_TOKEN: u64 = u64::MAX - 1;
 
 /// The NIC state machine. Embed in a host node; forward `on_tx_complete`
-/// (and `on_timer` for [`NIC_PACE_TOKEN`]) to it.
+/// (and `on_timer` for [`NIC_PACE_TOKEN`]) to it, and `settle_lazy` to
+/// [`HostNic::settle_to`].
 #[derive(Debug)]
 pub struct HostNic {
     cfg: NicConfig,
@@ -48,6 +49,13 @@ pub struct HostNic {
     busy: bool,
     /// Pacing: earliest time the next transmission may start.
     next_tx_at: Nanos,
+    /// Hybrid mode: `(serialization start, size)` of handed-off frames
+    /// whose start instant is still in the future (see [`crate::fastfwd`]).
+    /// Until its start a frame counts toward `queued_bytes`, exactly like
+    /// the packet-mode transmit queue it replaces.
+    chain: VecDeque<(u64, u32)>,
+    /// Hybrid mode: when the last handed-off frame finishes serializing.
+    free_at: u64,
     /// Packets dropped at the local queue limit.
     pub dropped: u64,
     /// Packets handed to the wire.
@@ -65,6 +73,8 @@ impl HostNic {
             queued_bytes: 0,
             busy: false,
             next_tx_at: Nanos::ZERO,
+            chain: VecDeque::new(),
+            free_at: 0,
             dropped: 0,
             sent: 0,
             sent_bytes: 0,
@@ -81,9 +91,28 @@ impl HostNic {
         self.queued_bytes
     }
 
+    /// Applies deferred hybrid-mode accounting up to `now`: every frame
+    /// whose serialization has started leaves the queue accounting and
+    /// counts as sent, exactly when the packet-mode pump would have done
+    /// it. Host nodes forward [`crate::node::Node::settle_lazy`] here.
+    pub fn settle_to(&mut self, now: Nanos) {
+        while let Some(&(start, size)) = self.chain.front() {
+            if start > now.0 {
+                break;
+            }
+            self.chain.pop_front();
+            self.queued_bytes -= u64::from(size);
+            self.sent += 1;
+            self.sent_bytes += u64::from(size);
+        }
+    }
+
     /// Enqueues a packet for transmission. Returns `false` (and counts a
     /// local drop) when the queue limit would be exceeded.
     pub fn send(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) -> bool {
+        if ctx.hybrid() && self.cfg.pace_bps.is_none() {
+            return self.send_fastfwd(ctx, pkt);
+        }
         if self.queued_bytes + u64::from(pkt.size) > self.cfg.queue_limit_bytes {
             self.dropped += 1;
             return false;
@@ -91,6 +120,47 @@ impl HostNic {
         self.queue.push_back(pkt);
         self.queued_bytes += u64::from(pkt.size);
         self.pump(ctx);
+        true
+    }
+
+    /// Hybrid-mode hand-off (see [`crate::fastfwd`]): the unpaced transmit
+    /// ring is a work-conserving FIFO, so the serialization start of every
+    /// accepted frame is `max(now, free_at)` — fully determined here.
+    /// Schedules the peer's arrival directly and defers the queue/sent
+    /// accounting to [`Self::settle_to`]; no `TxComplete` event exists.
+    /// Paced NICs never take this path: their start times depend on pacer
+    /// wakeups, so they keep the event-per-frame pump.
+    fn send_fastfwd(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) -> bool {
+        let now = ctx.now();
+        self.settle_to(now);
+        if self.queued_bytes + u64::from(pkt.size) > self.cfg.queue_limit_bytes {
+            self.dropped += 1;
+            return false;
+        }
+        let link = *ctx.link(self.cfg.port).unwrap_or_else(|| {
+            panic!(
+                "node {:?} port {:?} is not wired",
+                ctx.node(),
+                self.cfg.port
+            )
+        });
+        let ser = link.spec.ser_time(pkt.size);
+        let start = now.0.max(self.free_at);
+        self.free_at = start + ser.0;
+        if start > now.0 {
+            self.chain.push_back((start, pkt.size));
+            self.queued_bytes += u64::from(pkt.size);
+        } else {
+            self.sent += 1;
+            self.sent_bytes += u64::from(pkt.size);
+        }
+        let (peer_node, peer_port) = link.peer;
+        ctx.schedule_arrival(
+            Nanos(self.free_at) + link.spec.propagation,
+            peer_node,
+            peer_port,
+            pkt,
+        );
         true
     }
 
@@ -179,6 +249,9 @@ mod tests {
                 self.nic.send(ctx, pkt);
             }
         }
+        fn settle_lazy(&mut self, now: Nanos) {
+            self.nic.settle_to(now);
+        }
         fn as_any(&self) -> &dyn Any {
             self
         }
@@ -244,6 +317,52 @@ mod tests {
                 w[1] - w[0],
                 expected_gap
             );
+        }
+    }
+
+    #[test]
+    fn hybrid_matches_packet_mode() {
+        // Same burst, both execution modes: identical arrival instants at
+        // the receiver and identical sent/dropped accounting, including
+        // when the queue limit binds.
+        for limit in [3_000u64, 1 << 20] {
+            let run = |hybrid: bool| {
+                let cfg = NicConfig {
+                    queue_limit_bytes: limit,
+                    ..NicConfig::default()
+                };
+                let (mut sim, a, b) = two_hosts(cfg, 10, 1500);
+                sim.set_hybrid(hybrid);
+                sim.run_until(Nanos::from_millis(1));
+                let host = sim.node::<TestHost>(a);
+                (
+                    host.nic.sent,
+                    host.nic.sent_bytes,
+                    host.nic.dropped,
+                    host.nic.queue_depth_bytes(),
+                    sim.node::<TestHost>(b).rx.clone(),
+                )
+            };
+            assert_eq!(run(false), run(true), "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn paced_nic_refuses_fastfwd() {
+        // Pacing is the documented fallback case: even in hybrid mode the
+        // NIC keeps the event-per-frame path, so spacing is preserved.
+        let cfg = NicConfig {
+            pace_bps: Some(1_000_000_000),
+            ..NicConfig::default()
+        };
+        let (mut sim, _a, b) = two_hosts(cfg, 5, 1500);
+        sim.set_hybrid(true);
+        sim.run_until(Nanos::from_millis(1));
+        let rx = &sim.node::<TestHost>(b).rx;
+        assert_eq!(rx.len(), 5);
+        let expected_gap = Nanos(1500 * 8);
+        for w in rx.windows(2) {
+            assert!(w[1] - w[0] >= expected_gap);
         }
     }
 

@@ -37,6 +37,14 @@ pub trait Node: Any {
     /// A timer previously set through [`Ctx::timer_in`] fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
 
+    /// Applies any deferred hybrid-mode accounting up to `now` (see
+    /// [`crate::fastfwd`]). The simulator calls this on every node when
+    /// [`run_until`](crate::sim::Simulator::run_until) returns, so external
+    /// readers of node state (statistics, queue depths) always observe
+    /// values byte-identical to packet mode. Nodes without deferred state
+    /// ignore it.
+    fn settle_lazy(&mut self, _now: Nanos) {}
+
     /// Downcast support — implement as `self`.
     fn as_any(&self) -> &dyn Any;
     /// Downcast support — implement as `self`.
@@ -50,12 +58,20 @@ pub struct Ctx<'a> {
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) wiring: &'a Wiring,
     pub(crate) arena: &'a mut PacketArena,
+    pub(crate) hybrid: bool,
 }
 
 impl Ctx<'_> {
     /// Current simulated time.
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// Whether the simulation runs in hybrid fast-forward mode (see
+    /// [`crate::fastfwd`]). Fixed for the lifetime of a simulation; nodes
+    /// with a lazy path branch on it per event.
+    pub fn hybrid(&self) -> bool {
+        self.hybrid
     }
 
     /// The node this context belongs to.
@@ -172,6 +188,7 @@ mod tests {
             queue: &mut queue,
             wiring: &wiring,
             arena: &mut arena,
+            hybrid: false,
         };
         let ser = ctx.start_tx(PortId(0), raw_packet(1500));
         assert_eq!(ser, Nanos(1216));
@@ -212,6 +229,7 @@ mod tests {
             queue: &mut queue,
             wiring: &wiring,
             arena: &mut arena,
+            hybrid: false,
         };
         ctx.start_tx(PortId(7), raw_packet(100));
     }
@@ -226,6 +244,7 @@ mod tests {
             queue: &mut queue,
             wiring: &wiring,
             arena: &mut arena,
+            hybrid: false,
         };
         ctx.timer_in(Nanos(90), 42);
         let e = queue.pop_until(Nanos::MAX).unwrap();

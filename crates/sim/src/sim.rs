@@ -26,6 +26,10 @@ pub struct Simulator {
     batch: Vec<Event>,
     now: Nanos,
     dispatched: u64,
+    /// Hybrid fast-forward mode (see [`crate::fastfwd`]): FIFO stages skip
+    /// `TxComplete` events and settle their accounting lazily. Fixed before
+    /// the first event is dispatched.
+    hybrid: bool,
 }
 
 impl Default for Simulator {
@@ -35,17 +39,10 @@ impl Default for Simulator {
 }
 
 impl Simulator {
-    /// An empty simulation at time zero.
+    /// An empty simulation at time zero, in the process-default execution
+    /// mode (`UBURST_HYBRID`, hybrid fast-forward unless disabled).
     pub fn new() -> Self {
-        Simulator {
-            nodes: Vec::new(),
-            wiring: Wiring::new(),
-            queue: EventQueue::new(),
-            arena: PacketArena::new(),
-            batch: Vec::new(),
-            now: Nanos::ZERO,
-            dispatched: 0,
-        }
+        Self::with_event_capacity(1024)
     }
 
     /// An empty simulation whose event calendar is pre-sized for
@@ -61,12 +58,29 @@ impl Simulator {
             batch: Vec::new(),
             now: Nanos::ZERO,
             dispatched: 0,
+            hybrid: crate::fastfwd::hybrid_default(),
         }
     }
 
     /// Current simulated time.
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// Whether this simulation runs in hybrid fast-forward mode.
+    pub fn hybrid(&self) -> bool {
+        self.hybrid
+    }
+
+    /// Overrides the execution mode (hybrid fast-forward vs. full packet
+    /// mode). The mode is part of the simulation's identity and must not
+    /// flip mid-run.
+    ///
+    /// # Panics
+    /// Panics if any event has already been dispatched.
+    pub fn set_hybrid(&mut self, hybrid: bool) {
+        assert_eq!(self.dispatched, 0, "execution mode must not change mid-run");
+        self.hybrid = hybrid;
     }
 
     /// Number of events dispatched so far (for benchmarks and sanity checks).
@@ -185,6 +199,14 @@ impl Simulator {
         if self.now < until && until != Nanos::MAX {
             self.now = until;
         }
+        // Settle every node's deferred hybrid-mode accounting up to the
+        // stop time, so callers reading node state after this returns see
+        // values byte-identical to packet mode (see `crate::fastfwd`).
+        if self.hybrid {
+            for n in self.nodes.iter_mut().flatten() {
+                n.settle_lazy(self.now);
+            }
+        }
         self.dispatched - start
     }
 
@@ -228,6 +250,7 @@ impl Simulator {
             queue: &mut self.queue,
             wiring: &self.wiring,
             arena: &mut self.arena,
+            hybrid: self.hybrid,
         };
         f(n.as_mut(), &mut ctx);
         self.nodes[node.0 as usize] = Some(n);

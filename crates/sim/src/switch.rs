@@ -16,12 +16,16 @@
 //! is where the ASIC counter model (crate `uburst-asic`) plugs in.
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
-use crate::counters::SharedSink;
+use crate::counters::{CounterSink, SharedSink};
+use crate::fastfwd::DepartureBook;
 use crate::node::{Ctx, Node, PortId};
 use crate::packet::Packet;
 use crate::routing::RoutingTable;
+use crate::time::Nanos;
 
 /// Static switch parameters.
 #[derive(Debug, Clone)]
@@ -71,6 +75,83 @@ pub struct SwitchStats {
     pub unroutable: u64,
 }
 
+/// Buffer-accounting state shared between the switch node and its counter
+/// bank's flush hook (see [`crate::fastfwd`]).
+///
+/// In hybrid mode the switch never schedules `TxComplete` events: admitted
+/// frames park their closed-form departure time in `departures`, and the
+/// TX-side accounting is applied lazily by [`SwitchCore::settle_to`] — from
+/// the switch's own arrival path (so admission always tests *current*
+/// occupancy), from the counter bank before a poll-instant read, and from
+/// the simulator at run boundaries. The state lives behind
+/// `Rc<RefCell<_>>` so the bank hook can reach it while the node owns it.
+struct SwitchCore {
+    /// Bytes each port holds in the shared buffer (queued + in flight) —
+    /// the hot array: every admission test reads exactly one entry.
+    held_bytes: Vec<u64>,
+    /// When each port's last admitted frame finishes serializing (hybrid
+    /// mode). `dep_j = max(adm_j, free_at) + ser_j`.
+    free_at: Vec<u64>,
+    /// Total bytes currently held in the shared buffer.
+    buffered: u64,
+    stats: SwitchStats,
+    /// Admitted-but-unsettled departures (hybrid mode; empty otherwise).
+    departures: DepartureBook,
+    /// Earliest unsettled departure (`u64::MAX` when none): one compare
+    /// decides whether an arrival needs to settle at all.
+    next_dep: u64,
+}
+
+impl SwitchCore {
+    fn new(ports: usize) -> Self {
+        SwitchCore {
+            held_bytes: vec![0; ports],
+            free_at: vec![0; ports],
+            buffered: 0,
+            stats: SwitchStats::default(),
+            departures: DepartureBook::with_ports(ports),
+            next_dep: u64::MAX,
+        }
+    }
+
+    /// Dynamic-threshold admission test: may a packet of `size` bytes join
+    /// egress `port`'s queue right now?
+    fn admits(&self, cfg: &SwitchConfig, port: usize, size: u32) -> bool {
+        let size = u64::from(size);
+        if self.buffered + size > cfg.buffer_bytes {
+            return false; // pool exhausted
+        }
+        let free = cfg.buffer_bytes - self.buffered;
+        let threshold = (cfg.alpha * free as f64) as u64;
+        self.held_bytes[port] + size <= threshold.max(u64::from(crate::packet::MTU_FRAME))
+    }
+
+    /// Applies every departure at or before `now`: releases buffer
+    /// occupancy and emits the TX counters the packet-mode `TxComplete`
+    /// handler would have emitted at exactly those instants. Per-counter
+    /// adds are commutative and the buffer level only needs its final
+    /// value (departures never raise the peak register — occupancy maxima
+    /// are attained at admissions), so one trailing `buffer_level` call
+    /// reproduces the packet-mode cell values byte-for-byte.
+    fn settle_to(&mut self, now: Nanos, sink: &dyn CounterSink) {
+        if self.next_dep > now.0 {
+            return;
+        }
+        let held = &mut self.held_bytes;
+        let stats = &mut self.stats;
+        let mut buffered = self.buffered;
+        self.next_dep = self.departures.drain_due(now, |port, size| {
+            held[port.0 as usize] -= u64::from(size);
+            buffered -= u64::from(size);
+            stats.tx_packets += 1;
+            stats.tx_bytes += u64::from(size);
+            sink.count_tx(port, size);
+        });
+        self.buffered = buffered;
+        sink.buffer_level(self.buffered);
+    }
+}
+
 /// A shared-buffer switch node. See the module docs for the model.
 ///
 /// Per-port state is kept struct-of-arrays: the admission test and ECN
@@ -81,39 +162,45 @@ pub struct Switch {
     cfg: SwitchConfig,
     routing: RoutingTable,
     sink: SharedSink,
-    /// Bytes each port holds in the shared buffer (queued + in flight) —
-    /// the hot array: every admission test reads exactly one entry.
-    held_bytes: Vec<u64>,
-    /// The packet each port is currently serializing, if any. Its bytes
-    /// still occupy the shared buffer until transmission completes.
+    /// Occupancy + statistics, shared with the sink's flush hook.
+    core: Rc<RefCell<SwitchCore>>,
+    /// The packet each port is currently serializing, if any (packet mode).
+    /// Its bytes still occupy the shared buffer until transmission
+    /// completes.
     in_flight: Vec<Option<Packet>>,
-    /// FIFO payloads per port (cold: touched only on enqueue/dequeue).
+    /// FIFO payloads per port (packet mode; hybrid mode integrates the
+    /// drain in closed form instead of materializing it).
     queues: Vec<VecDeque<Packet>>,
-    /// Total bytes currently held in the shared buffer.
-    buffered: u64,
-    stats: SwitchStats,
 }
 
 impl Switch {
     /// A switch with the given configuration, routes, and counter sink.
+    ///
+    /// Registers a flush hook with the sink so counter banks that are read
+    /// mid-run can settle this switch's deferred departures before a read
+    /// (a no-op for sinks that ignore hooks, and for packet mode, where
+    /// the departure book stays empty).
     pub fn new(cfg: SwitchConfig, routing: RoutingTable, sink: SharedSink) -> Self {
         assert!(cfg.ports > 0 && cfg.buffer_bytes > 0 && cfg.alpha > 0.0);
         let n = cfg.ports as usize;
+        let core = Rc::new(RefCell::new(SwitchCore::new(n)));
+        let hook_core = Rc::clone(&core);
+        sink.register_flush(Box::new(move |sink, now| {
+            hook_core.borrow_mut().settle_to(now, sink);
+        }));
         Switch {
             cfg,
             routing,
             sink,
-            held_bytes: vec![0; n],
+            core,
             in_flight: (0..n).map(|_| None).collect(),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
-            buffered: 0,
-            stats: SwitchStats::default(),
         }
     }
 
     /// Aggregate forwarding statistics.
     pub fn stats(&self) -> SwitchStats {
-        self.stats
+        self.core.borrow().stats
     }
 
     /// The switch's static configuration.
@@ -123,27 +210,21 @@ impl Switch {
 
     /// Current shared-buffer occupancy in bytes.
     pub fn buffered_bytes(&self) -> u64 {
-        self.buffered
+        self.core.borrow().buffered
     }
 
     /// Bytes held by one egress port (queued + in flight).
     pub fn port_held_bytes(&self, port: PortId) -> u64 {
-        self.held_bytes[port.0 as usize]
+        self.core.borrow().held_bytes[port.0 as usize]
     }
 
-    /// Dynamic-threshold admission test: may a packet of `size` bytes join
-    /// egress `port`'s queue right now?
+    #[cfg(test)]
     fn admits(&self, port: usize, size: u32) -> bool {
-        let size = u64::from(size);
-        if self.buffered + size > self.cfg.buffer_bytes {
-            return false; // pool exhausted
-        }
-        let free = self.cfg.buffer_bytes - self.buffered;
-        let threshold = (self.cfg.alpha * free as f64) as u64;
-        self.held_bytes[port] + size <= threshold.max(u64::from(crate::packet::MTU_FRAME))
+        self.core.borrow().admits(&self.cfg, port, size)
     }
 
-    /// Starts transmission on `port` if it is idle and has queued packets.
+    /// Starts transmission on `port` if it is idle and has queued packets
+    /// (packet mode only).
     fn try_start_tx(&mut self, ctx: &mut Ctx<'_>, port: usize) {
         if self.in_flight[port].is_some() {
             return;
@@ -157,47 +238,81 @@ impl Switch {
 
 impl Node for Switch {
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, ingress: PortId, pkt: Packet) {
-        self.stats.rx_packets += 1;
-        self.stats.rx_bytes += u64::from(pkt.size);
+        let now = ctx.now();
+        let core = Rc::clone(&self.core);
+        let mut core = core.borrow_mut();
+        if ctx.hybrid() {
+            // Release every departure due by now first, so the admission
+            // test below sees the same occupancy packet mode would.
+            core.settle_to(now, &*self.sink);
+        }
+        core.stats.rx_packets += 1;
+        core.stats.rx_bytes += u64::from(pkt.size);
         self.sink.count_rx(ingress, pkt.size);
 
-        let Some(egress) = self.routing.lookup(pkt.dst, pkt.ecmp_key(), ctx.now()) else {
-            self.stats.unroutable += 1;
+        let Some(egress) = self.routing.lookup(pkt.dst, pkt.ecmp_key(), now) else {
+            core.stats.unroutable += 1;
             return;
         };
         debug_assert!(egress != ingress, "routing loop: egress == ingress");
         let e = egress.0 as usize;
 
-        if !self.admits(e, pkt.size) {
-            self.stats.dropped_packets += 1;
-            self.stats.dropped_bytes += u64::from(pkt.size);
+        if !core.admits(&self.cfg, e, pkt.size) {
+            core.stats.dropped_packets += 1;
+            core.stats.dropped_bytes += u64::from(pkt.size);
             self.sink.count_drop(egress, pkt.size);
             return;
         }
 
-        self.buffered += u64::from(pkt.size);
-        self.sink.buffer_level(self.buffered);
+        core.buffered += u64::from(pkt.size);
+        self.sink.buffer_level(core.buffered);
         let mut pkt = pkt;
         if let Some(k) = self.cfg.ecn_threshold {
-            if self.held_bytes[e] > k && pkt.is_data() {
+            if core.held_bytes[e] > k && pkt.is_data() {
                 pkt.ce = true;
             }
         }
-        self.queues[e].push_back(pkt);
-        self.held_bytes[e] += u64::from(pkt.size);
-        self.try_start_tx(ctx, e);
+        core.held_bytes[e] += u64::from(pkt.size);
+
+        if ctx.hybrid() {
+            // Closed-form FIFO drain: the departure time is fully
+            // determined at admission, so schedule the peer's arrival
+            // directly and park the departure for lazy settlement instead
+            // of materializing the queue and a TxComplete event.
+            let link = *ctx
+                .link(egress)
+                .unwrap_or_else(|| panic!("node {:?} port {:?} is not wired", ctx.node(), egress));
+            let ser = link.spec.ser_time(pkt.size);
+            let dep = Nanos(now.0.max(core.free_at[e]) + ser.0);
+            core.free_at[e] = dep.0;
+            core.departures.push(dep, egress, pkt.size);
+            core.next_dep = core.next_dep.min(dep.0);
+            let (peer_node, peer_port) = link.peer;
+            ctx.schedule_arrival(dep + link.spec.propagation, peer_node, peer_port, pkt);
+        } else {
+            self.queues[e].push_back(pkt);
+            drop(core);
+            self.try_start_tx(ctx, e);
+        }
     }
 
     fn on_tx_complete(&mut self, ctx: &mut Ctx<'_>, port: PortId) {
         let i = port.0 as usize;
         let pkt = self.in_flight[i].take().expect("tx-complete on idle port");
-        self.held_bytes[i] -= u64::from(pkt.size);
-        self.buffered -= u64::from(pkt.size);
-        self.stats.tx_packets += 1;
-        self.stats.tx_bytes += u64::from(pkt.size);
-        self.sink.count_tx(port, pkt.size);
-        self.sink.buffer_level(self.buffered);
+        {
+            let mut core = self.core.borrow_mut();
+            core.held_bytes[i] -= u64::from(pkt.size);
+            core.buffered -= u64::from(pkt.size);
+            core.stats.tx_packets += 1;
+            core.stats.tx_bytes += u64::from(pkt.size);
+            self.sink.count_tx(port, pkt.size);
+            self.sink.buffer_level(core.buffered);
+        }
         self.try_start_tx(ctx, i);
+    }
+
+    fn settle_lazy(&mut self, now: Nanos) {
+        self.core.borrow_mut().settle_to(now, &*self.sink);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -285,7 +400,19 @@ mod tests {
         alpha: f64,
         burst: u32,
     ) -> (Simulator, NodeId, NodeId, SwitchStats) {
+        fan_in_mode(buffer_bytes, alpha, burst, None)
+    }
+
+    fn fan_in_mode(
+        buffer_bytes: u64,
+        alpha: f64,
+        burst: u32,
+        hybrid: Option<bool>,
+    ) -> (Simulator, NodeId, NodeId, SwitchStats) {
         let mut sim = Simulator::new();
+        if let Some(h) = hybrid {
+            sim.set_hybrid(h);
+        }
         let recv = sim.add_node(Box::new(SinkHost::new()));
         let s1 = sim.add_node(Box::new(Blaster {
             dst: recv,
@@ -345,6 +472,33 @@ mod tests {
         assert_eq!(stats.rx_bytes, stats.tx_bytes + stats.dropped_bytes);
         assert!(stats.dropped_packets > 0, "tiny buffer must drop");
         assert_eq!(sim.node::<SinkHost>(recv).rx, stats.tx_packets);
+    }
+
+    #[test]
+    fn hybrid_matches_packet_mode() {
+        // Uncongested, congested, and heavily-dropping fan-ins: the lazy
+        // drain must reproduce packet-mode statistics and receiver-side
+        // arrival counts exactly.
+        for (buffer, alpha, burst) in [
+            (64u64 << 20, 8.0, 200u32),
+            (64 * 1024, 1.0, 500),
+            (1 << 20, 0.25, 500),
+        ] {
+            let run = |h: bool| {
+                let (sim, recv, sw, stats) = fan_in_mode(buffer, alpha, burst, Some(h));
+                (
+                    stats,
+                    sim.node::<SinkHost>(recv).rx,
+                    sim.node::<SinkHost>(recv).rx_bytes,
+                    sim.node::<Switch>(sw).buffered_bytes(),
+                )
+            };
+            assert_eq!(
+                run(false),
+                run(true),
+                "mode divergence at buffer={buffer} alpha={alpha} burst={burst}"
+            );
+        }
     }
 
     #[test]

@@ -586,6 +586,9 @@ mod tests {
                 }
             }
         }
+        fn settle_lazy(&mut self, now: Nanos) {
+            self.nic.settle_to(now);
+        }
         fn as_any(&self) -> &dyn Any {
             self
         }

@@ -297,6 +297,50 @@ fn batched_drain_equivalent_across_many_seeds() {
 }
 
 #[test]
+fn equivalent_on_sparse_one_event_per_run() {
+    // The shape the hybrid fast-forward engine leaves behind: single events
+    // separated by long empty-bucket runs (tens to thousands of buckets,
+    // i.e. across many occupancy words), so almost every pop exercises the
+    // summary-word skip in `find_next_occupied`. Gaps are co-prime-ish with
+    // the 256 ns bucket width and 64-bucket word width to hit every
+    // cursor/word alignment, including the wrapped same-word case.
+    let mut rng = Rng::new(0x5BA5_0001);
+    let mut cal = EventQueue::new();
+    let mut heap = HeapQueue::default();
+    let mut t = 0u64;
+    let mut next_token = 0u64;
+    for _ in 0..4_000 {
+        // 1 bucket .. ~3,900 buckets (just under one wheel day), plus an
+        // occasional overflow hop of several days.
+        let gap = if rng.chance(0.02) {
+            rng.range(1_048_576, 8_388_608)
+        } else {
+            rng.range(257, 1_000_000)
+        };
+        t += gap;
+        cal.schedule(Nanos(t), timer(next_token));
+        heap.schedule(Nanos(t), next_token);
+        next_token += 1;
+    }
+    let mut popped = 0u64;
+    loop {
+        let c = cal.pop_until(Nanos::MAX);
+        let h = heap.pop_until(Nanos::MAX);
+        match (c, h) {
+            (None, None) => break,
+            (Some(ce), Some((ht, htok))) => {
+                assert_eq!(ce.time, ht, "sparse drain time");
+                assert_eq!(token_of(&ce.kind), htok, "sparse drain order");
+                popped += 1;
+            }
+            (c, h) => panic!("sparse drain disagrees: calendar={c:?} heap={h:?}"),
+        }
+    }
+    assert_eq!(popped, next_token);
+    assert!(cal.is_empty());
+}
+
+#[test]
 fn massed_ties_pop_in_schedule_order() {
     // Thousands of events at one instant must come back FIFO, matching the
     // heap's seq-tiebreak exactly.

@@ -77,6 +77,27 @@ impl Default for HadoopConfig {
     }
 }
 
+impl HadoopConfig {
+    /// Analytic per-host offered rate in bytes/sec, from the closed-form
+    /// means of the wave and background processes:
+    ///
+    /// * waves fire every `wave_period` and this host joins with
+    ///   `join_prob`, shipping one `transfer`-distributed flow;
+    /// * background flows arrive Poisson at `background_rate_per_s`.
+    ///
+    /// This is steady-state metadata for the hybrid fast-forward engine
+    /// (`uburst_sim::fastfwd`): scenario builders use it to pre-size the
+    /// event calendar for the in-flight packet population instead of
+    /// growing through the doubling phase mid-campaign. It deliberately
+    /// ignores self-addressed draws (a host never sends to itself), so it
+    /// is a slight upper bound.
+    pub fn offered_bytes_per_sec(&self) -> f64 {
+        let wave = self.join_prob / self.wave_period.as_secs_f64() * self.transfer.mean_bytes();
+        let background = self.background_rate_per_s * self.background.mean_bytes();
+        wave + background
+    }
+}
+
 const TOKEN_WAVE: u64 = 1;
 const TOKEN_BACKGROUND: u64 = 2;
 
@@ -284,6 +305,30 @@ mod tests {
         for k in 0..100 {
             assert!(app.wave_time(k + 1) > app.wave_time(k));
         }
+    }
+
+    #[test]
+    fn analytic_offered_rate_matches_sampled_means() {
+        let cfg = test_cfg(vec![NodeId(0), NodeId(1)]);
+        // Empirical mean of the transfer distribution vs the closed form.
+        let mut rng = uburst_sim::rng::Rng::new(7);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| cfg.transfer.sample(&mut rng)).sum();
+        let empirical = sum as f64 / n as f64;
+        let analytic = cfg.transfer.mean_bytes();
+        let err = (empirical - analytic).abs() / analytic;
+        assert!(
+            err < 0.05,
+            "transfer mean: empirical {empirical:.0} vs analytic {analytic:.0}"
+        );
+
+        // The offered rate is exactly the two-process composition.
+        let expect = cfg.join_prob / cfg.wave_period.as_secs_f64() * cfg.transfer.mean_bytes()
+            + cfg.background_rate_per_s * cfg.background.mean_bytes();
+        assert_eq!(cfg.offered_bytes_per_sec(), expect);
+        // Sanity: the default test tuning offers on the order of a few
+        // tens of MB/s per host — enough to congest a 10G link rack-wide.
+        assert!(cfg.offered_bytes_per_sec() > 10e6);
     }
 
     #[test]

@@ -289,6 +289,10 @@ impl Node for AppHost {
         }
     }
 
+    fn settle_lazy(&mut self, now: Nanos) {
+        self.nic.settle_to(now);
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

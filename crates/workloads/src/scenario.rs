@@ -162,6 +162,21 @@ impl Default for HadoopParams {
     }
 }
 
+impl HadoopParams {
+    /// Analytic per-host offered rate in bytes/sec at `rate_factor`,
+    /// mirroring how [`build_scenario`] rate-scales the app: the wave
+    /// period is stretched by the factor and the background Poisson rate
+    /// multiplied by it. See
+    /// [`HadoopConfig::offered_bytes_per_sec`](crate::hadoop::HadoopConfig::offered_bytes_per_sec)
+    /// for the closed form.
+    pub fn offered_bytes_per_host(&self, rate_factor: f64) -> f64 {
+        let wave = self.join_prob * rate_factor / self.wave_period.as_secs_f64()
+            * self.transfer.mean_bytes();
+        let background = self.background_rate_per_host * rate_factor * self.background.mean_bytes();
+        wave + background
+    }
+}
+
 /// Full scenario configuration.
 #[derive(Debug, Clone)]
 pub struct ScenarioConfig {
@@ -195,6 +210,11 @@ pub struct ScenarioConfig {
     /// other tiers to future work; the `ext_fabric_tier` experiment uses
     /// this).
     pub instrument_fabric: bool,
+    /// Execution mode override: `Some(true)` forces hybrid fast-forward,
+    /// `Some(false)` forces per-packet, `None` follows the `UBURST_HYBRID`
+    /// environment default (see `uburst_sim::fastfwd`). Equivalence tests
+    /// use this to run both modes in one process.
+    pub hybrid: Option<bool>,
 }
 
 impl ScenarioConfig {
@@ -231,6 +251,7 @@ impl ScenarioConfig {
             transport: TransportConfig::default(),
             nic_pace_bps: None,
             instrument_fabric: false,
+            hybrid: None,
         }
     }
 
@@ -327,8 +348,21 @@ pub fn build_scenario(cfg: ScenarioConfig) -> Scenario {
     // the packet population roughly linearly. The estimate only has to be
     // the right order of magnitude to skip the heap's doubling phase.
     let endpoints = cfg.n_servers + cfg.n_remotes + cfg.clos.n_fabric + 1;
-    let event_capacity = (endpoints * 64).next_power_of_two() * (1 + cfg.load as usize);
+    let mut event_capacity = (endpoints * 64).next_power_of_two() * (1 + cfg.load as usize);
+    if cfg.rack_type == RackType::Hadoop {
+        // Hybrid fast-forward parks every queued frame in the calendar as
+        // a pre-scheduled arrival, so the bulk rack's in-flight population
+        // tracks its offered load rather than the wire. Size for one wave
+        // period of analytically-offered frames across the rack.
+        let per_host = cfg.hadoop.offered_bytes_per_host(cfg.rate_factor());
+        let frames = per_host * cfg.n_servers as f64 * cfg.hadoop.wave_period.as_secs_f64()
+            / f64::from(uburst_sim::packet::MTU_FRAME);
+        event_capacity = event_capacity.max((frames.max(1.0) as usize).next_power_of_two());
+    }
     let mut sim = Simulator::with_event_capacity(event_capacity);
+    if let Some(hybrid) = cfg.hybrid {
+        sim.set_hybrid(hybrid);
+    }
     let mut rng = Rng::new(cfg.seed);
 
     // Spawn all hosts idle; install apps after ids exist.

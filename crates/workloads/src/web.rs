@@ -41,6 +41,17 @@ impl SizeDist {
         let mu = (self.median as f64).ln();
         (rng.lognormal(mu, self.sigma) as u64).clamp(1, self.cap)
     }
+
+    /// Analytic mean in bytes: the lognormal mean `median·e^{σ²/2}`,
+    /// clamped to the cap. The clamp treats the cap as a ceiling rather
+    /// than modelling the truncated tail exactly, so for distributions
+    /// whose cap sits deep in the tail (every workload preset here) the
+    /// estimate is tight; a cap near the median makes it an upper bound.
+    /// Used by the analytic offered-rate metadata that sizes hybrid-mode
+    /// event calendars.
+    pub fn mean_bytes(&self) -> f64 {
+        ((self.median as f64) * (self.sigma * self.sigma / 2.0).exp()).min(self.cap as f64)
+    }
 }
 
 /// Web server tuning.
