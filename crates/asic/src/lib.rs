@@ -111,7 +111,7 @@ mod integration {
             SwitchConfig {
                 ports: 2,
                 buffer_bytes: 1 << 20,
-                alpha: 2.0,
+                policy: BufferPolicyCfg::dt(2.0),
                 ecn_threshold: None,
             },
             routing,

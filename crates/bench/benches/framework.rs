@@ -325,6 +325,51 @@ fn bench_group_commit(rec: &mut BenchRecorder) {
     });
 }
 
+fn bench_buffer_policy(rec: &mut BenchRecorder) {
+    use uburst_sim::bufpolicy::BufferPolicyCfg;
+    // The admission decision sits on the switch's per-packet hot path:
+    // sweep all four carving policies over a synthetic occupancy ramp,
+    // 1M admits each. FlexibleBuffering is the interesting case — its
+    // shared-remainder check walks the held vector per admission.
+    let policies = [
+        BufferPolicyCfg::dt(0.5),
+        BufferPolicyCfg::StaticPartition,
+        BufferPolicyCfg::BShare {
+            target_delay: Nanos::from_micros(50),
+            drain_bps: 10_000_000_000,
+        },
+        BufferPolicyCfg::FlexibleBuffering {
+            reserved_bytes: 24 << 10,
+        },
+    ];
+    let ports = 32usize;
+    let pool = 12u64 << 20;
+    bench(rec, "buffer_policy_sweep_4x1M", 20, || {
+        let mut admitted = 0u64;
+        for cfg in policies {
+            let policy = cfg.build(ports);
+            let mut held = vec![0u64; ports];
+            let mut buffered = 0u64;
+            for i in 0..1_000_000u64 {
+                let port = (i % ports as u64) as usize;
+                if policy.admit(port, 1500, &held, buffered, pool) {
+                    admitted += 1;
+                    held[port] += 1500;
+                    buffered += 1500;
+                }
+                // Drain roughly as fast as we fill so the ramp exercises
+                // both the admit and the reject branches.
+                if buffered > pool / 2 {
+                    let p = (i % ports as u64) as usize;
+                    buffered -= held[p];
+                    held[p] = 0;
+                }
+            }
+        }
+        admitted
+    });
+}
+
 fn main() {
     let mut rec = BenchRecorder::new("framework");
     bench_event_queue(&mut rec);
@@ -337,5 +382,6 @@ fn main() {
     bench_fleet_ingest(&mut rec);
     bench_fleet_recovery(&mut rec);
     bench_group_commit(&mut rec);
+    bench_buffer_policy(&mut rec);
     rec.flush();
 }

@@ -27,6 +27,7 @@ use uburst_bench::report::Table;
 use uburst_bench::run_jobs;
 use uburst_core::spec::CoreMode;
 use uburst_core::tuning::probe_loss_profile;
+use uburst_sim::bufpolicy::BufferPolicyCfg;
 use uburst_sim::node::PortId;
 use uburst_sim::routing::EcmpMode;
 use uburst_sim::time::Nanos;
@@ -40,7 +41,9 @@ fn ablate_buffer_alpha() {
     let rows = run_jobs(vec![0.25, 0.5, 1.0, 2.0, 4.0], |alpha| {
         let mut cfg = ScenarioConfig::new(RackType::Hadoop, 40_001);
         cfg.load = 1.6;
-        cfg.clos.tor_switch.alpha = alpha;
+        // Routed through the carving-policy trait: the sweep is over the
+        // DynamicThreshold aggressiveness knob, not a raw switch field.
+        cfg.clos.tor_switch.policy = BufferPolicyCfg::DynamicThreshold { alpha };
         let n = cfg.n_servers;
         let (run, port) = measure_single_port(cfg, Some(2), Nanos::from_micros(25), SPAN);
         let utils = run.utilization(CounterId::TxBytes(port), 10_000_000_000);

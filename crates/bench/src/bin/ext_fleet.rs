@@ -26,8 +26,11 @@
 //! uses 32 to stay fast).
 
 use uburst_bench::fleet::{render_report, run_fleet_spec, run_fleet_spec_crashed, FleetSpec};
+use uburst_bench::report::Table;
 use uburst_bench::Scale;
 use uburst_core::failpoint::RegionCrashPlan;
+use uburst_sim::bufpolicy::BufferPolicyCfg;
+use uburst_sim::time::Nanos;
 
 const FLEET_SEED: u64 = 0x000F_1EE7_CAFE;
 
@@ -107,6 +110,62 @@ fn main() {
         print!("{}", render_report(&run));
         print_rollup();
     }
+
+    // Buffer-policy sweep at fleet width (ROADMAP item-1 leftover): the
+    // same fault-free fleet under each alternative ToR carving policy.
+    // Collection must be indifferent to carving — coverage stays full —
+    // while congestion discards shift exactly the way the single-rack
+    // `ext_buffer_policy` sweep says they should.
+    println!("\nbuffer-policy sweep: fault-free fleet, every ToR re-carved\n");
+    let policies = [
+        BufferPolicyCfg::dt(0.5),
+        BufferPolicyCfg::StaticPartition,
+        BufferPolicyCfg::BShare {
+            target_delay: Nanos::from_micros(50),
+            drain_bps: 10_000_000_000,
+        },
+        BufferPolicyCfg::FlexibleBuffering {
+            reserved_bytes: 24 << 10,
+        },
+    ];
+    let mut t = Table::new(&["policy", "tor_drops", "stored/produced", "sample_frac"]);
+    let mut drops_by_policy = Vec::new();
+    for policy in policies {
+        let spec = FleetSpec::new(n, FLEET_SEED, 0.0, scale).with_policy(policy);
+        let run = run_fleet_spec(&spec);
+        let drops: u64 = run.switches.iter().map(|s| s.drops).sum();
+        let produced: u64 = run
+            .outcome
+            .coverage
+            .switches
+            .iter()
+            .map(|s| s.produced)
+            .sum();
+        let stored: u64 = run.outcome.coverage.switches.iter().map(|s| s.stored).sum();
+        t.row(&[
+            policy.label(),
+            format!("{drops}"),
+            format!("{stored}/{produced}"),
+            format!("{:.4}", run.outcome.coverage.sample_fraction()),
+        ]);
+        drops_by_policy.push((policy, drops, run.outcome.coverage.sample_fraction()));
+    }
+    t.print();
+    println!("\npolicy-sweep checks:");
+    println!(
+        "  [{}] collection tier is carving-agnostic (full coverage under every policy)",
+        if drops_by_policy.iter().all(|&(_, _, f)| f == 1.0) {
+            "ok"
+        } else {
+            "MISS"
+        }
+    );
+    let dt_drops = drops_by_policy[0].1;
+    let sp_drops = drops_by_policy[1].1;
+    println!(
+        "  [{}] static partitioning drops most at fleet width too ({sp_drops} vs DT {dt_drops})",
+        if sp_drops > dt_drops { "ok" } else { "MISS" }
+    );
 }
 
 fn print_rollup() {

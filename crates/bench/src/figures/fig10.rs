@@ -6,6 +6,11 @@
 //! stresses the buffer most, sometimes driving 100 % of its ports hot (Web
 //! and Cache max out at 71 % / 64 %); occupancy grows with hot-port count
 //! but levels off at high counts.
+//!
+//! Buffer carving here goes through the default [`uburst_sim::bufpolicy`]
+//! policy (`DynamicThreshold`, the scheme the paper's switches ran); the
+//! `ext_buffer_policy` extension reproduces this readout per alternative
+//! policy (StaticPartition / BShare / FlexibleBuffering).
 
 use std::fmt::Write;
 

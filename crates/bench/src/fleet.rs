@@ -28,6 +28,7 @@ use uburst_core::fleet::{
 use uburst_core::link::LinkPlan;
 use uburst_core::poller::RetryPolicy;
 use uburst_core::series::Series;
+use uburst_sim::bufpolicy::BufferPolicyCfg;
 use uburst_sim::node::PortId;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
@@ -65,6 +66,8 @@ pub struct FleetSpec {
     pub span: Nanos,
     /// Rounds each switch's sample stream is cut into for shipping.
     pub rounds: u32,
+    /// Buffer carving policy applied at every ToR in the fleet.
+    pub policy: BufferPolicyCfg,
 }
 
 impl FleetSpec {
@@ -81,7 +84,16 @@ impl FleetSpec {
                 Scale::Full => Nanos::from_millis(100),
             },
             rounds: 8,
+            // The rack scenarios' production carve; `with_policy` sweeps
+            // the alternatives at fleet width.
+            policy: BufferPolicyCfg::dt(0.5),
         }
+    }
+
+    /// The same campaign under a different ToR carving policy.
+    pub fn with_policy(mut self, policy: BufferPolicyCfg) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -101,6 +113,8 @@ pub struct SwitchMeta {
     pub uplinks: Vec<PortId>,
     /// Uplink line rate, for utilization conversion.
     pub uplink_bps: u64,
+    /// Congestion discards at this switch's ToR over the campaign.
+    pub drops: u64,
 }
 
 /// A completed fleet campaign: the merged outcome plus per-switch
@@ -125,7 +139,8 @@ struct SwitchRun {
 /// Runs one switch's campaign and cuts its series into shipping rounds.
 /// Pure in `(spec, index)` — the determinism anchor for the whole fleet.
 fn measure_switch(spec: &FleetSpec, index: u32) -> SwitchRun {
-    let cfg = ScenarioConfig::for_fleet_switch(spec.fleet_seed, index);
+    let mut cfg = ScenarioConfig::for_fleet_switch(spec.fleet_seed, index);
+    cfg.clos.tor_switch.policy = spec.policy;
     let rack = cfg.rack_type;
     let uplink_bps = cfg.clos.uplink.bandwidth_bps;
     let uplinks: Vec<PortId> = (0..cfg.clos.n_fabric)
@@ -143,6 +158,7 @@ fn measure_switch(spec: &FleetSpec, index: u32) -> SwitchRun {
         RetryPolicy::default(),
         None,
     );
+    let drops = run.net.tor.dropped_packets;
     let st = run.poller_stats;
     let read_error_frac = if st.polls == 0 {
         1.0
@@ -203,6 +219,7 @@ fn measure_switch(spec: &FleetSpec, index: u32) -> SwitchRun {
             read_error_frac,
             uplinks,
             uplink_bps,
+            drops,
         },
         stream: SwitchStream {
             source,
@@ -337,8 +354,10 @@ pub fn render_report(run: &FleetRun) -> String {
     let flaky_count = run.switches.iter().filter(|s| s.flaky).count();
     writeln!(
         out,
-        "fleet seed {:#x}; {} switches dealt the flaky profile",
-        spec.fleet_seed, flaky_count
+        "fleet seed {:#x}; {} switches dealt the flaky profile; buffer policy {}",
+        spec.fleet_seed,
+        flaky_count,
+        spec.policy.label()
     )
     .unwrap();
     for region in run.crashes.regions() {

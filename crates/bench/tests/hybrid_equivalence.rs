@@ -16,6 +16,7 @@
 
 use uburst_asic::CounterId;
 use uburst_bench::campaign::{buffer_and_ports_spec, single_port_spec, CampaignRun, CampaignSpec};
+use uburst_sim::bufpolicy::BufferPolicyCfg;
 use uburst_sim::node::PortId;
 use uburst_sim::time::Nanos;
 use uburst_workloads::scenario::{RackType, ScenarioConfig};
@@ -98,6 +99,38 @@ fn buffer_peak_register_identical_under_congestion() {
         peak.vs.iter().any(|&v| v > 0),
         "peak register never engaged"
     );
+}
+
+#[test]
+fn every_buffer_policy_identical_across_engines() {
+    // The BufferPolicy contract is that admission decisions are pure in
+    // admission-time state (held, buffered, pool), which is exactly what
+    // the settle-then-admit invariant of DESIGN §4l guarantees both
+    // engines agree on. Sweep every policy under real congestion and
+    // require byte-identity, so a future stateful policy that silently
+    // breaks the contract fails here rather than in a figure.
+    let policies = [
+        BufferPolicyCfg::dt(0.5),
+        BufferPolicyCfg::StaticPartition,
+        BufferPolicyCfg::BShare {
+            target_delay: Nanos::from_micros(100),
+            drain_bps: 10_000_000_000,
+        },
+        BufferPolicyCfg::FlexibleBuffering {
+            reserved_bytes: 24 << 10,
+        },
+    ];
+    for policy in policies {
+        let mut cfg = ScenarioConfig::new(RackType::Hadoop, 21);
+        cfg.clos.tor_switch.policy = policy;
+        let (spec, _) = buffer_and_ports_spec(cfg, Nanos::from_micros(100), Nanos::from_millis(12));
+        let run = assert_modes_identical(spec, &format!("hadoop/{}", policy.label()));
+        assert!(
+            run.net.tor.rx_packets > 0,
+            "{}: campaign saw no traffic",
+            policy.label()
+        );
+    }
 }
 
 #[test]

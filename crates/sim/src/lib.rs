@@ -17,8 +17,9 @@
 //! * [`time`], [`rng`], [`events`] — the discrete-event core.
 //! * [`node`], [`link`], [`sim`] — nodes, wiring, and the driver loop.
 //! * [`packet`], [`transport`], [`nic`] — end-host behaviour.
-//! * [`switch`], [`routing`], [`counters`] — the shared-buffer switch and
-//!   its counter-reporting hook (implemented by `uburst-asic`).
+//! * [`switch`], [`bufpolicy`], [`routing`], [`counters`] — the
+//!   shared-buffer switch, its pluggable carving policies, and its
+//!   counter-reporting hook (implemented by `uburst-asic`).
 //! * [`topology`] — Clos construction.
 //!
 //! ## Example
@@ -36,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod bufpolicy;
 pub mod counters;
 pub mod events;
 pub mod fastfwd;
@@ -55,6 +57,9 @@ pub mod transport;
 /// The names almost every user needs.
 pub mod prelude {
     pub use crate::arena::{ArenaStats, PacketArena, PacketRef};
+    pub use crate::bufpolicy::{
+        BShare, BufferPolicy, BufferPolicyCfg, DynamicThreshold, FlexibleBuffering, StaticPartition,
+    };
     pub use crate::counters::{null_sink, CounterSink, NullCounters, SharedSink};
     pub use crate::link::LinkSpec;
     pub use crate::nic::{HostNic, NicConfig, NIC_PACE_TOKEN};

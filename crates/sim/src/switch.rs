@@ -4,11 +4,15 @@
 //!
 //! * **Output queueing**: every packet is classified to an egress port on
 //!   arrival and waits in that port's queue.
-//! * **Shared buffer with dynamic threshold (DT) carving**: all ports draw
-//!   from one buffer pool; a port may enqueue while its queue length stays
-//!   below `alpha * (pool - used)` (Choudhury–Hahne dynamic thresholds, the
-//!   scheme Broadcom-class ASICs implement). "Buffers in our switches are
-//!   shared and dynamically carved" — §5.1 footnote.
+//! * **Shared buffer with pluggable carving**: all ports draw from one
+//!   buffer pool; *how* the pool is carved between them is a
+//!   [`BufferPolicy`](crate::bufpolicy::BufferPolicy). The default is
+//!   Choudhury–Hahne dynamic thresholds (a port may enqueue while its
+//!   queue stays below `alpha * (pool - used)`, the scheme Broadcom-class
+//!   ASICs implement — "buffers in our switches are shared and dynamically
+//!   carved", §5.1 footnote); static partition, delay-driven sharing
+//!   (BShare), and flexible buffering (FB) are the alternatives the
+//!   `ext_buffer_policy` experiment sweeps.
 //! * **Congestion discards**: admission failures increment per-port discard
 //!   counters; there is no corruption loss in the simulator.
 //!
@@ -20,6 +24,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use crate::bufpolicy::{BufferPolicy, BufferPolicyCfg};
 use crate::counters::{CounterSink, SharedSink};
 use crate::fastfwd::DepartureBook;
 use crate::node::{Ctx, Node, PortId};
@@ -35,9 +40,10 @@ pub struct SwitchConfig {
     /// Shared packet buffer size in bytes. ToR-class ASICs of the paper's
     /// era carried 12–16 MB; the default mirrors that.
     pub buffer_bytes: u64,
-    /// Dynamic-threshold alpha. Larger alpha lets a single port take more of
-    /// the pool; typical deployments run alpha in [1/2, 2].
-    pub alpha: f64,
+    /// How the shared pool is carved between ports. The default is
+    /// dynamic thresholding at alpha 1.0 (typical deployments run alpha
+    /// in [1/2, 2]); see [`crate::bufpolicy`] for the alternatives.
+    pub policy: BufferPolicyCfg,
     /// ECN marking threshold in bytes of egress-queue depth: packets
     /// admitted while the queue holds more than this are CE-marked.
     /// `None` disables marking (the measured network's configuration).
@@ -49,7 +55,7 @@ impl Default for SwitchConfig {
         SwitchConfig {
             ports: 32,
             buffer_bytes: 12 << 20,
-            alpha: 1.0,
+            policy: BufferPolicyCfg::default(),
             ecn_threshold: None,
         }
     }
@@ -73,6 +79,10 @@ pub struct SwitchStats {
     pub dropped_bytes: u64,
     /// Packets with no matching route (a topology bug if nonzero).
     pub unroutable: u64,
+    /// Packets whose route resolved back out their ingress port (a
+    /// routing loop — a table bug if nonzero). Dropped and counted here
+    /// rather than bounced back where they came from.
+    pub hairpin: u64,
 }
 
 /// Buffer-accounting state shared between the switch node and its counter
@@ -100,10 +110,13 @@ struct SwitchCore {
     /// Earliest unsettled departure (`u64::MAX` when none): one compare
     /// decides whether an arrival needs to settle at all.
     next_dep: u64,
+    /// The carving policy consulted on every admission (built once from
+    /// [`SwitchConfig::policy`]).
+    policy: Box<dyn BufferPolicy>,
 }
 
 impl SwitchCore {
-    fn new(ports: usize) -> Self {
+    fn new(ports: usize, policy: Box<dyn BufferPolicy>) -> Self {
         SwitchCore {
             held_bytes: vec![0; ports],
             free_at: vec![0; ports],
@@ -111,19 +124,27 @@ impl SwitchCore {
             stats: SwitchStats::default(),
             departures: DepartureBook::with_ports(ports),
             next_dep: u64::MAX,
+            policy,
         }
     }
 
-    /// Dynamic-threshold admission test: may a packet of `size` bytes join
-    /// egress `port`'s queue right now?
+    /// Admission test: may a packet of `size` bytes join egress `port`'s
+    /// queue right now? The physical pool bound is enforced here; the
+    /// carving question goes to the policy. Pure in the current occupancy
+    /// state, which is what lets both execution engines share this call
+    /// (hybrid mode settles departures before every admission).
     fn admits(&self, cfg: &SwitchConfig, port: usize, size: u32) -> bool {
         let size = u64::from(size);
         if self.buffered + size > cfg.buffer_bytes {
             return false; // pool exhausted
         }
-        let free = cfg.buffer_bytes - self.buffered;
-        let threshold = (cfg.alpha * free as f64) as u64;
-        self.held_bytes[port] + size <= threshold.max(u64::from(crate::packet::MTU_FRAME))
+        self.policy.admit(
+            port,
+            size,
+            &self.held_bytes,
+            self.buffered,
+            cfg.buffer_bytes,
+        )
     }
 
     /// Applies every departure at or before `now`: releases buffer
@@ -139,6 +160,7 @@ impl SwitchCore {
         }
         let held = &mut self.held_bytes;
         let stats = &mut self.stats;
+        let policy = &mut self.policy;
         let mut buffered = self.buffered;
         self.next_dep = self.departures.drain_due(now, |port, size| {
             held[port.0 as usize] -= u64::from(size);
@@ -146,6 +168,7 @@ impl SwitchCore {
             stats.tx_packets += 1;
             stats.tx_bytes += u64::from(size);
             sink.count_tx(port, size);
+            policy.on_departure(port.0 as usize, u64::from(size));
         });
         self.buffered = buffered;
         sink.buffer_level(self.buffered);
@@ -181,9 +204,9 @@ impl Switch {
     /// (a no-op for sinks that ignore hooks, and for packet mode, where
     /// the departure book stays empty).
     pub fn new(cfg: SwitchConfig, routing: RoutingTable, sink: SharedSink) -> Self {
-        assert!(cfg.ports > 0 && cfg.buffer_bytes > 0 && cfg.alpha > 0.0);
+        assert!(cfg.ports > 0 && cfg.buffer_bytes > 0 && cfg.policy.is_valid());
         let n = cfg.ports as usize;
-        let core = Rc::new(RefCell::new(SwitchCore::new(n)));
+        let core = Rc::new(RefCell::new(SwitchCore::new(n, cfg.policy.build(n))));
         let hook_core = Rc::clone(&core);
         sink.register_flush(Box::new(move |sink, now| {
             hook_core.borrow_mut().settle_to(now, sink);
@@ -254,7 +277,15 @@ impl Node for Switch {
             core.stats.unroutable += 1;
             return;
         };
-        debug_assert!(egress != ingress, "routing loop: egress == ingress");
+        if egress == ingress {
+            // A route that resolves back out the ingress port is a table
+            // bug (one-armed routing is not modelled). Bouncing the frame
+            // back where it came from would silently forward garbage in
+            // release builds — drop it and count it as its own class so
+            // the loop is visible in the stats.
+            core.stats.hairpin += 1;
+            return;
+        }
         let e = egress.0 as usize;
 
         if !core.admits(&self.cfg, e, pkt.size) {
@@ -268,7 +299,12 @@ impl Node for Switch {
         self.sink.buffer_level(core.buffered);
         let mut pkt = pkt;
         if let Some(k) = self.cfg.ecn_threshold {
-            if core.held_bytes[e] > k && pkt.is_data() {
+            // Mark on the queue depth *including* the arriving frame, so
+            // the exact frame that pushes the queue past K is CE-marked.
+            // (Testing the pre-admission depth lets a queue hovering at K
+            // admit unmarked traffic indefinitely — one frame of bias per
+            // crossing, which a DCTCP-style sender never hears about.)
+            if core.held_bytes[e] + u64::from(pkt.size) > k && pkt.is_data() {
                 pkt.ce = true;
             }
         }
@@ -307,6 +343,7 @@ impl Node for Switch {
             core.stats.tx_bytes += u64::from(pkt.size);
             self.sink.count_tx(port, pkt.size);
             self.sink.buffer_level(core.buffered);
+            core.policy.on_departure(i, u64::from(pkt.size));
         }
         self.try_start_tx(ctx, i);
     }
@@ -334,20 +371,26 @@ mod tests {
     use crate::sim::Simulator;
     use crate::time::Nanos;
 
-    /// Sink node that counts arrivals.
+    /// Sink node that counts arrivals (and their CE marks, in order).
     struct SinkHost {
         rx: u64,
         rx_bytes: u64,
+        ce_flags: Vec<bool>,
     }
     impl SinkHost {
         fn new() -> Self {
-            SinkHost { rx: 0, rx_bytes: 0 }
+            SinkHost {
+                rx: 0,
+                rx_bytes: 0,
+                ce_flags: Vec::new(),
+            }
         }
     }
     impl Node for SinkHost {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, pkt: Packet) {
             self.rx += 1;
             self.rx_bytes += u64::from(pkt.size);
+            self.ce_flags.push(pkt.ce);
         }
         fn as_any(&self) -> &dyn Any {
             self
@@ -362,6 +405,9 @@ mod tests {
         dst: NodeId,
         n: u32,
         size: u32,
+        /// Send transport data segments (ECN-markable) instead of raw
+        /// datagrams.
+        data: bool,
     }
     impl Node for Blaster {
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _pkt: Packet) {}
@@ -372,9 +418,20 @@ mod tests {
             let link = *ctx.link(PortId(0)).unwrap();
             let mut t = ctx.now();
             for i in 0..self.n {
+                let kind = if self.data {
+                    PacketKind::Data {
+                        seq: i,
+                        total: self.n,
+                        flow_bytes: 0,
+                        tag: 0,
+                        retx: false,
+                    }
+                } else {
+                    PacketKind::Raw { tag: 0 }
+                };
                 let pkt = Packet {
                     flow: FlowId(u64::from(i)),
-                    kind: PacketKind::Raw { tag: 0 },
+                    kind,
                     src: ctx.node(),
                     dst: self.dst,
                     size: self.size,
@@ -418,11 +475,13 @@ mod tests {
             dst: recv,
             n: burst,
             size: MTU_FRAME,
+            data: false,
         }));
         let s2 = sim.add_node(Box::new(Blaster {
             dst: recv,
             n: burst,
             size: MTU_FRAME,
+            data: false,
         }));
 
         let mut routing = RoutingTable::new(0);
@@ -431,7 +490,7 @@ mod tests {
             SwitchConfig {
                 ports: 3,
                 buffer_bytes,
-                alpha,
+                policy: BufferPolicyCfg::dt(alpha),
                 ecn_threshold: None,
             },
             routing,
@@ -467,7 +526,7 @@ mod tests {
         let (sim, recv, _sw, stats) = fan_in_setup(64 * 1024, 1.0, 500);
         assert_eq!(
             stats.rx_packets,
-            stats.tx_packets + stats.dropped_packets + stats.unroutable
+            stats.tx_packets + stats.dropped_packets + stats.unroutable + stats.hairpin
         );
         assert_eq!(stats.rx_bytes, stats.tx_bytes + stats.dropped_bytes);
         assert!(stats.dropped_packets > 0, "tiny buffer must drop");
@@ -521,6 +580,7 @@ mod tests {
             dst: NodeId(999), // not in the routing table
             n: 3,
             size: 100,
+            data: false,
         }));
         let routing = RoutingTable::new(0); // empty, no default
         let sw = sim.add_node(Box::new(Switch::new(
@@ -546,7 +606,7 @@ mod tests {
             SwitchConfig {
                 ports: 2,
                 buffer_bytes: 10_000,
-                alpha: 0.5,
+                policy: BufferPolicyCfg::dt(0.5),
                 ecn_threshold: None,
             },
             routing,
@@ -555,5 +615,103 @@ mod tests {
         // Empty buffer: threshold = 0.5 * 10_000 = 5_000.
         assert!(sw.admits(0, 4_000));
         assert!(!sw.admits(0, 6_000));
+    }
+
+    #[test]
+    fn hairpin_routes_are_dropped_and_counted() {
+        // A deliberately bad routing table: the route to `recv` points
+        // back out the port the traffic arrives on. Release builds used
+        // to bounce these frames back out the ingress; they must be
+        // dropped and counted in their own class instead.
+        let mut sim = Simulator::new();
+        let recv = sim.add_node(Box::new(SinkHost::new()));
+        let src = sim.add_node(Box::new(Blaster {
+            dst: recv,
+            n: 5,
+            size: 100,
+            data: false,
+        }));
+        let mut routing = RoutingTable::new(0);
+        routing.set_route(recv, Route::Port(PortId(1))); // = src's ingress
+        let sw = sim.add_node(Box::new(Switch::new(
+            SwitchConfig::default(),
+            routing,
+            null_sink(),
+        )));
+        let spec = LinkSpec::gbps(10.0, Nanos(500));
+        sim.connect((recv, PortId(0)), (sw, PortId(0)), spec);
+        sim.connect((src, PortId(0)), (sw, PortId(1)), spec);
+        sim.schedule_timer(Nanos(0), src, 0);
+        sim.run_until(Nanos::from_millis(1));
+        let stats = sim.node::<Switch>(sw).stats();
+        assert_eq!(stats.hairpin, 5);
+        assert_eq!(stats.rx_packets, 5);
+        assert_eq!(stats.tx_packets, 0, "hairpin frames must not forward");
+        assert_eq!(
+            stats.rx_packets,
+            stats.tx_packets + stats.dropped_packets + stats.unroutable + stats.hairpin
+        );
+        assert_eq!(sim.node::<SinkHost>(recv).rx, 0);
+    }
+
+    /// One sender's frames through a slow egress with an ECN threshold of
+    /// 3 MTU: queue depth at each admission is 0, 1, 2, 3, 4, 5 frames,
+    /// so the 4th frame is the one that pushes the queue past K.
+    fn ecn_fan_in(hybrid: bool) -> Vec<bool> {
+        let mtu = u64::from(MTU_FRAME);
+        let mut sim = Simulator::new();
+        sim.set_hybrid(hybrid);
+        let recv = sim.add_node(Box::new(SinkHost::new()));
+        let src = sim.add_node(Box::new(Blaster {
+            dst: recv,
+            n: 6,
+            size: MTU_FRAME,
+            data: true, // only data segments are CE-markable
+        }));
+        let mut routing = RoutingTable::new(0);
+        routing.set_route(recv, Route::Port(PortId(0)));
+        let sw = sim.add_node(Box::new(Switch::new(
+            SwitchConfig {
+                ports: 2,
+                buffer_bytes: 64 << 20, // no drops
+                policy: BufferPolicyCfg::dt(8.0),
+                ecn_threshold: Some(3 * mtu),
+            },
+            routing,
+            null_sink(),
+        )));
+        // Egress ten times slower than ingress: all six frames are
+        // admitted before the first departs, so the queue at admission i
+        // holds exactly i-1 earlier frames.
+        sim.connect(
+            (recv, PortId(0)),
+            (sw, PortId(0)),
+            LinkSpec::gbps(1.0, Nanos(500)),
+        );
+        sim.connect(
+            (src, PortId(0)),
+            (sw, PortId(1)),
+            LinkSpec::gbps(10.0, Nanos(500)),
+        );
+        sim.schedule_timer(Nanos(0), src, 0);
+        sim.run_until(Nanos::from_millis(1));
+        let flags = sim.node::<SinkHost>(recv).ce_flags.clone();
+        assert_eq!(flags.len(), 6, "all six frames must arrive");
+        flags
+    }
+
+    #[test]
+    fn ecn_marks_the_exact_threshold_crossing_frame() {
+        for hybrid in [false, true] {
+            let flags = ecn_fan_in(hybrid);
+            // Frame 4 takes the queue from 3 MTU to 4 MTU > K: it is the
+            // crossing frame and must carry the first CE mark (the old
+            // pre-admission test marked frame 5 instead).
+            assert_eq!(
+                flags,
+                vec![false, false, false, true, true, true],
+                "hybrid={hybrid}: first CE mark must be the crossing frame"
+            );
+        }
     }
 }

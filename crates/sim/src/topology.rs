@@ -12,6 +12,7 @@
 //! Host nodes are created by the caller (they carry application behaviour);
 //! the builder creates the switches, wires everything, and installs routes.
 
+use crate::bufpolicy::BufferPolicyCfg;
 use crate::counters::{null_sink, SharedSink};
 use crate::link::LinkSpec;
 use crate::node::{NodeId, PortId};
@@ -34,7 +35,7 @@ pub struct ClosConfig {
     pub fabric_spine: LinkSpec,
     /// Remote endpoint ↔ spine links.
     pub remote_link: LinkSpec,
-    /// ToR switch parameters (buffer, alpha).
+    /// ToR switch parameters (buffer, carving policy).
     pub tor_switch: SwitchConfig,
     /// Fabric/spine switch parameters. Deeper buffers, faster ports — the
     /// paper observes most loss is at ToRs, which holds here too.
@@ -56,13 +57,13 @@ impl Default for ClosConfig {
             tor_switch: SwitchConfig {
                 ports: 0, // sized by the builder
                 buffer_bytes: 12 << 20,
-                alpha: 1.0,
+                policy: BufferPolicyCfg::dt(1.0),
                 ecn_threshold: None,
             },
             core_switch: SwitchConfig {
                 ports: 0,
                 buffer_bytes: 24 << 20,
-                alpha: 2.0,
+                policy: BufferPolicyCfg::dt(2.0),
                 ecn_threshold: None,
             },
             ecmp_seed: 0x5eed,

@@ -537,6 +537,7 @@ impl TransportEndpoint {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bufpolicy::BufferPolicyCfg;
     use crate::counters::null_sink;
     use crate::link::LinkSpec;
     use crate::nic::{HostNic, NicConfig, NIC_PACE_TOKEN};
@@ -637,7 +638,7 @@ mod tests {
             SwitchConfig {
                 ports: 2,
                 buffer_bytes,
-                alpha,
+                policy: BufferPolicyCfg::dt(alpha),
                 ecn_threshold,
             },
             routing,

@@ -92,7 +92,7 @@ fn fan_in_campaign_mode(senders: u32, per_sender: u32, hybrid: Option<bool>) -> 
         SwitchConfig {
             ports: senders as u16 + 1,
             buffer_bytes: 12 << 20,
-            alpha: 2.0,
+            policy: BufferPolicyCfg::dt(2.0),
             ecn_threshold: None,
         },
         routing,

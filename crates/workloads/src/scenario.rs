@@ -232,7 +232,7 @@ impl ScenarioConfig {
             tor_switch: uburst_sim::switch::SwitchConfig {
                 ports: 0,
                 buffer_bytes: 768 << 10, // 0.75 MiB
-                alpha: 0.5,
+                policy: uburst_sim::bufpolicy::BufferPolicyCfg::dt(0.5),
                 ecn_threshold: None,
             },
             ..ClosConfig::default()

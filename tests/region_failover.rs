@@ -442,6 +442,136 @@ fn fleet_crash_offset_sweep_tiles_and_converges() {
     }
 }
 
+/// Concurrent two-region crash sweep: both aggregators die in the same
+/// run, at independently swept WAL offsets. `RegionCrashPlan` always
+/// carried per-region budgets, but every sweep above kills one region at
+/// a time — this is the both-at-once matrix. With no survivor to fail
+/// over to while both are down, switches can spend rounds with nowhere
+/// to ship; the health policy quarantines them and their batches land in
+/// the ledger's *excluded* column — a deliberate, accounted omission, so
+/// full convergence is not achievable at every offset pair. What must
+/// hold at **every** pair are the durability invariants: each region's
+/// crash is fully accounted (crash + recovery), the coverage ledger
+/// tiles, no acked batch is lost, and nothing is *silently* dropped —
+/// every produced batch ends stored or explicitly excluded, never
+/// undelivered. And the store must never *fabricate* data: everything it
+/// holds at any offset pair is a subset of the crash-free reference, with
+/// the quarantine machinery bounding how much a double outage can exclude
+/// (a pair where nothing was excluded must be byte-identical).
+#[test]
+fn fleet_concurrent_two_region_crash_sweep_tiles() {
+    // Both aggregators can be down at once, so shippers may spend whole
+    // rounds with nowhere to land batches: give the drain phase more
+    // rounds than the one-region sweeps need.
+    let cfg = FleetConfig {
+        drain_rounds: 40,
+        ..fleet_config()
+    };
+    let reference = run_fleet(fleet_streams(), &cfg);
+    let mut reference_csv = Vec::new();
+    reference
+        .store
+        .export_csv(&mut reference_csv)
+        .expect("export");
+
+    // 15×15 offset pairs = 225 concurrent crashes ≥ MIN_CRASH_POINTS.
+    let per_region = 15usize;
+    let plans: Vec<CrashPlan> = (0..cfg.regions)
+        .map(|region| {
+            CrashPlan::sweep(
+                SEED ^ 0xD0_0B1E ^ region as u64,
+                reference.regions[region].wal_bytes,
+                &reference.region_record_ends[region],
+                per_region,
+            )
+        })
+        .collect();
+    let reference_lines: std::collections::BTreeSet<&str> = std::str::from_utf8(&reference_csv)
+        .expect("csv utf8")
+        .lines()
+        .collect();
+    let mut pairs = 0usize;
+    for &o0 in plans[0].offsets().iter().take(per_region) {
+        for &o1 in plans[1].offsets().iter().take(per_region) {
+            pairs += 1;
+            let crash = RegionCrashPlan::kill(0, o0).and_kill(1, o1);
+            let out = run_fleet_with_crashes(fleet_streams(), &cfg, &crash);
+
+            for region in 0..cfg.regions {
+                assert_eq!(
+                    out.regions[region].crashes, 1,
+                    "crash@({o0},{o1}): region {region} crash not recorded"
+                );
+                assert_eq!(
+                    out.regions[region].recoveries, 1,
+                    "crash@({o0},{o1}): region {region} did not recover"
+                );
+            }
+            let mut excluded = 0u64;
+            for s in &out.coverage.switches {
+                assert_eq!(
+                    s.produced,
+                    s.stored + s.excluded + s.refused + s.undelivered(),
+                    "crash@({o0},{o1}): ledger does not tile for switch {}",
+                    s.source.0
+                );
+                assert!(
+                    s.stored >= s.acked,
+                    "crash@({o0},{o1}): switch {} lost acked data (stored {} < acked {})",
+                    s.source.0,
+                    s.stored,
+                    s.acked
+                );
+                // Silent loss is forbidden even with zero survivors: by
+                // end of drain every batch is stored or in an explicit
+                // exclusion column.
+                assert_eq!(
+                    s.undelivered(),
+                    0,
+                    "crash@({o0},{o1}): switch {} left batches undelivered",
+                    s.source.0
+                );
+                excluded += s.excluded + s.refused;
+            }
+
+            // Quarantine bounds the damage: a double outage may cost each
+            // switch a round or two, never the campaign.
+            assert!(
+                out.coverage.sample_fraction() >= 0.8,
+                "crash@({o0},{o1}): double outage excluded too much \
+                 (fraction {:.2})",
+                out.coverage.sample_fraction()
+            );
+
+            // Whatever the store holds is genuine — a subset of the
+            // crash-free reference, never replay-corrupted or duplicated.
+            let mut csv = Vec::new();
+            out.store.export_csv(&mut csv).expect("export");
+            let csv = std::str::from_utf8(&csv).expect("csv utf8");
+            for line in csv.lines() {
+                assert!(
+                    reference_lines.contains(line),
+                    "crash@({o0},{o1}): store holds a line absent from the \
+                     crash-free reference: {line:?}"
+                );
+            }
+            // When no batch was deliberately excluded, both WALs' replay
+            // must make the double crash invisible in the data.
+            if excluded == 0 {
+                assert_eq!(
+                    csv.as_bytes(),
+                    &reference_csv[..],
+                    "crash@({o0},{o1}): store != crash-free reference"
+                );
+            }
+        }
+    }
+    assert!(
+        pairs >= MIN_CRASH_POINTS,
+        "only {pairs} concurrent crash points"
+    );
+}
+
 /// Crash runs are as deterministic as clean runs: the same plan twice
 /// yields byte-identical coverage text and store content (the CI job
 /// additionally diffs the full `ext_fleet` stdout across thread counts).
